@@ -1,0 +1,68 @@
+"""Ablation benchmarks beyond the paper's figures.
+
+DESIGN.md calls out two design choices worth isolating:
+
+* **resource elimination** separately from file pruning — the paper's
+  Fig. 11b toggles them together; this ablation shows each §4.4 pass
+  alone;
+* **snapshot vs direct package semantics** — the higher-fidelity
+  snapshot model (reproducing Fig. 3c's non-idempotence) costs extra
+  paths and a prelude resource; this quantifies the overhead on the
+  corpus.
+"""
+
+import pytest
+
+from repro.analysis.determinism import DeterminismOptions, check_determinism
+from repro.core.pipeline import Rehearsal
+from repro.corpus import CASES, DETERMINISTIC_NAMES, load_source
+from repro.resources import ModelContext
+
+ABLATION_NAMES = ["clamav", "hosting", "jpa", "bind"]
+
+
+@pytest.mark.parametrize(
+    "config",
+    ["neither", "elimination", "pruning", "both"],
+)
+@pytest.mark.parametrize("name", ABLATION_NAMES)
+def test_ablation_441_passes(benchmark, bench_timeout, name, config):
+    """Isolate the two §4.4 passes (commutativity always on)."""
+    tool = Rehearsal()
+    graph, programs = tool.compile(load_source(name))
+    options = DeterminismOptions(
+        use_commutativity=True,
+        use_elimination=config in ("elimination", "both"),
+        use_pruning=config in ("pruning", "both"),
+        timeout_seconds=bench_timeout,
+    )
+
+    result = benchmark.pedantic(
+        check_determinism,
+        args=(graph, programs),
+        kwargs={"options": options},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.deterministic == CASES[name].deterministic
+
+
+@pytest.mark.parametrize(
+    "semantics", ["direct", "snapshot"], ids=["direct", "snapshot"]
+)
+@pytest.mark.parametrize("name", DETERMINISTIC_NAMES)
+def test_ablation_package_semantics(benchmark, bench_timeout, name, semantics):
+    """Verification cost of the snapshot package model."""
+    tool = Rehearsal(
+        context=ModelContext(package_semantics=semantics),
+        options=DeterminismOptions(timeout_seconds=bench_timeout),
+    )
+    source = load_source(name)
+
+    report = benchmark.pedantic(
+        tool.verify, args=(source,), kwargs={"name": name}, rounds=1,
+        iterations=1,
+    )
+    assert report.error is None
+    assert report.deterministic is True
+    benchmark.extra_info["semantics"] = semantics

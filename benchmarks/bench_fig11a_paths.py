@@ -1,0 +1,31 @@
+"""Fig. 11a — paths per state, with and without pruning.
+
+Benchmarks the §4.4 pruning pass itself and records the path counts
+the paper plots; the reproduction claim is the *reduction* (every
+benchmark's written-path count drops, typically by 2-6x).
+"""
+
+import pytest
+
+from repro.analysis.commutativity import footprint
+from repro.analysis.pruning import prune_manifest
+from repro.core.pipeline import Rehearsal
+from repro.corpus import BENCHMARK_NAMES, load_source
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_fig11a_pruning_pass(benchmark, name):
+    tool = Rehearsal()
+    _, programs = tool.compile(load_source(name))
+    exprs = list(programs.values())
+
+    pruned, report = benchmark(prune_manifest, exprs)
+
+    written_before = set().union(*[footprint(e).writes for e in exprs])
+    written_after = set().union(*[footprint(e).writes for e in pruned])
+    benchmark.extra_info["written_paths_before"] = len(written_before)
+    benchmark.extra_info["written_paths_after"] = len(written_after)
+    benchmark.extra_info["domain_paths"] = report.paths_before
+    # The paper's shape: pruning removes package-private files on
+    # every benchmark.
+    assert len(written_after) < len(written_before)

@@ -1,0 +1,33 @@
+"""Fig. 11b — determinacy-analysis time, pruning off vs on.
+
+Commutativity checking is enabled in both configurations (the paper's
+Fig. 11b column); the §4.4 passes (resource elimination + file
+pruning) toggle.  Expected shape: pruning never hurts much and speeds
+up the solver-bound benchmarks.
+"""
+
+import pytest
+
+from repro.bench.harness import timed_determinism
+from repro.corpus import BENCHMARK_NAMES, CASES
+
+
+@pytest.mark.parametrize("pruning", [False, True], ids=["noprune", "prune"])
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_fig11b_determinism(benchmark, bench_timeout, name, pruning):
+    def run():
+        return timed_determinism(
+            name,
+            use_commutativity=True,
+            use_pruning=pruning,
+            timeout=bench_timeout,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["timed_out"] = result.timed_out
+    assert not result.timed_out, (
+        "with commutativity checking enabled every benchmark must finish "
+        "within the budget"
+    )
+    expected = CASES[name].deterministic
+    assert result.deterministic == expected

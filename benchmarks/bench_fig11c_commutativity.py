@@ -1,0 +1,45 @@
+"""Fig. 11c — determinacy-analysis time, commutativity off vs on.
+
+Both configurations run without the §4.4 passes (the paper's middle
+column).  Expected shape: without the commutativity reduction the
+permutation exploration blows up — the `hosting` benchmark (12
+unordered, mutually-commuting resources) exceeds the budget, matching
+the paper's timed-out bars — while with it every benchmark finishes.
+"""
+
+import pytest
+
+from repro.bench.harness import timed_determinism
+from repro.corpus import BENCHMARK_NAMES, CASES
+
+# Benchmarks whose permutation space is too large to explore without
+# the commutativity reduction under the default budget (the paper had
+# four such; our corpus has one — the largest unordered graph).
+EXPECTED_TIMEOUTS_WITHOUT_COMM = {"hosting"}
+
+
+@pytest.mark.parametrize(
+    "commutativity", [False, True], ids=["nocomm", "comm"]
+)
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_fig11c_determinism(benchmark, bench_timeout, name, commutativity):
+    def run():
+        return timed_determinism(
+            name,
+            use_commutativity=commutativity,
+            use_pruning=False,
+            timeout=bench_timeout,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["timed_out"] = result.timed_out
+    if commutativity:
+        assert not result.timed_out
+        assert result.deterministic == CASES[name].deterministic
+    elif name in EXPECTED_TIMEOUTS_WITHOUT_COMM:
+        assert result.timed_out, (
+            f"{name} should exceed the budget without commutativity "
+            "checking (the Fig. 11c timeout shape)"
+        )
+    elif not result.timed_out:
+        assert result.deterministic == CASES[name].deterministic

@@ -1,0 +1,60 @@
+"""Fig. 13 — scalability against n unordered conflicting writes.
+
+n resources all overwrite the same path, defeating both the
+commutativity check and pruning; the checker must explore the full
+n! permutation space.  Expected shape: super-linear (factorial)
+growth in n — the paper reports >2 minutes at n = 6 on Z3; the
+absolute wall at a given n depends on the solver, the growth curve is
+the reproduction target.
+
+The second group reproduces the paper's harder deterministic variant:
+a final resource ordered after all writers forces a full
+unsatisfiability proof instead of an early satisfying model.
+"""
+
+import pytest
+
+from repro.analysis.determinism import DeterminismOptions, check_determinism
+from repro.bench.harness import conflicting_write, synthetic_conflict_graph
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+def test_fig13_conflicting_writes(benchmark, bench_timeout, n):
+    graph, programs = synthetic_conflict_graph(n)
+    options = DeterminismOptions(
+        timeout_seconds=bench_timeout, max_branches=500_000
+    )
+
+    result = benchmark.pedantic(
+        check_determinism,
+        args=(graph, programs),
+        kwargs={"options": options},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["n"] = n
+    assert not result.deterministic
+    benchmark.extra_info["branches"] = result.stats.branches_explored
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_fig13_deterministic_variant(benchmark, bench_timeout, n):
+    graph, programs = synthetic_conflict_graph(n)
+    programs = dict(programs)
+    programs["final"] = conflicting_write("/shared", "x")
+    graph.add_node("final")
+    for i in range(n):
+        graph.add_edge(f"w{i}", "final")
+    options = DeterminismOptions(
+        timeout_seconds=bench_timeout, max_branches=500_000
+    )
+
+    result = benchmark.pedantic(
+        check_determinism,
+        args=(graph, programs),
+        kwargs={"options": options},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["n"] = n
+    assert result.deterministic

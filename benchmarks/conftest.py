@@ -1,0 +1,17 @@
+"""Shared configuration for the §6 benchmark suite.
+
+``REHEARSAL_BENCH_TIMEOUT`` (seconds, default 20) models the paper's
+ten-minute budget: configurations that exceed it are recorded as
+timeouts, exactly like the bars capped at "Timeout" in Fig. 11.
+"""
+
+import os
+
+import pytest
+
+BENCH_TIMEOUT = float(os.environ.get("REHEARSAL_BENCH_TIMEOUT", "20"))
+
+
+@pytest.fixture(scope="session")
+def bench_timeout() -> float:
+    return BENCH_TIMEOUT

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's §6 as text tables.
+
+This is the standalone companion to the pytest-benchmark suite: it
+prints the same rows/series the paper plots, suitable for pasting into
+EXPERIMENTS.md.
+
+Run:  python benchmarks/run_figures.py [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import (
+    fig11a_rows,
+    fig11b_rows,
+    fig11c_rows,
+    fig12_rows,
+    fig13_deterministic_rows,
+    fig13_rows,
+    render_rows,
+    verdict_rows,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="per-configuration budget in seconds (paper: 600)",
+    )
+    args = parser.parse_args()
+
+    print(
+        render_rows(
+            "Fig. 11a — written paths per state (pruning off / on)",
+            ["benchmark", "no pruning", "pruning"],
+            fig11a_rows(),
+        )
+    )
+    print()
+    print(
+        render_rows(
+            "Fig. 11b — determinacy time, commutativity on "
+            "(pruning off / on)",
+            ["benchmark", "no pruning", "pruning"],
+            fig11b_rows(timeout=args.timeout),
+        )
+    )
+    print()
+    print(
+        render_rows(
+            "Fig. 11c — determinacy time, §4.4 passes off "
+            "(commutativity off / on)",
+            ["benchmark", "no commutativity", "commutativity"],
+            fig11c_rows(timeout=args.timeout),
+        )
+    )
+    print()
+    print(
+        render_rows(
+            "Fig. 12 — idempotence-check time",
+            ["benchmark", "time"],
+            fig12_rows(),
+        )
+    )
+    print()
+    print(
+        render_rows(
+            "Fig. 13 — n conflicting writes (non-deterministic: "
+            "early SAT model)",
+            ["n", "time"],
+            fig13_rows(ns=(2, 3, 4, 5, 6), timeout=args.timeout),
+        )
+    )
+    print()
+    print(
+        render_rows(
+            "Fig. 13 — deterministic variant (full UNSAT proof)",
+            ["n", "time"],
+            fig13_deterministic_rows(ns=(2, 3, 4, 5), timeout=args.timeout),
+        )
+    )
+    print()
+    print(
+        render_rows(
+            '§6 "Bugs found" — verdicts',
+            ["benchmark", "deterministic", "idempotent (of fix)"],
+            [
+                (name, "yes" if det else "NO", "yes" if idem else "NO")
+                for name, det, idem in verdict_rows()
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

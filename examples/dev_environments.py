@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The over-constrained modules of the paper's Fig. 3b.
+
+Two teams write independent development-environment modules.  Both
+install `make` and `m4`; each adds a *false* dependency between them
+(in opposite directions) to "force determinism".  The modules work
+alone but can never be composed: Puppet reports a dependency cycle.
+
+The right fix is to drop the false dependencies.  Rehearsal then
+*proves* the modules compose deterministically — the §4.3
+commutativity analysis shows that packages sharing /usr-style
+directory trees commute, so no ordering is needed.
+
+Run:  python examples/dev_environments.py
+"""
+
+from repro import DependencyCycleError, Rehearsal
+from repro.core.report import render_determinism
+
+OVERCONSTRAINED = """
+define cpp() {
+  if !defined(Package['m4'])   { package{'m4': ensure => present } }
+  if !defined(Package['make']) { package{'make': ensure => present } }
+  package{'gcc': ensure => present }
+  Package['m4'] -> Package['make']
+  Package['make'] -> Package['gcc']
+}
+
+define ocaml() {
+  if !defined(Package['make']) { package{'make': ensure => present } }
+  if !defined(Package['m4'])   { package{'m4': ensure => present } }
+  package{'ocaml': ensure => present }
+  Package['make'] -> Package['m4']
+  Package['m4'] -> Package['ocaml']
+}
+
+cpp{'dev': }
+ocaml{'dev': }
+"""
+
+MINIMAL = """
+define cpp() {
+  if !defined(Package['m4'])   { package{'m4': ensure => present } }
+  if !defined(Package['make']) { package{'make': ensure => present } }
+  package{'gcc': ensure => present }
+  Package['make'] -> Package['gcc']
+}
+
+define ocaml() {
+  if !defined(Package['make']) { package{'make': ensure => present } }
+  if !defined(Package['m4'])   { package{'m4': ensure => present } }
+  package{'ocaml': ensure => present }
+  Package['m4'] -> Package['ocaml']
+}
+
+cpp{'dev': }
+ocaml{'dev': }
+"""
+
+
+def main() -> None:
+    tool = Rehearsal()
+
+    print("=== Composing the over-constrained modules (Fig. 3b) ===")
+    try:
+        tool.check_determinism(OVERCONSTRAINED)
+        raise AssertionError("expected a dependency cycle")
+    except DependencyCycleError as exc:
+        print(f"rejected as expected: {exc}")
+
+    print()
+    print("=== Composing the minimal modules ===")
+    result = tool.check_determinism(MINIMAL)
+    print(render_determinism(result))
+    assert result.deterministic
+    print()
+    print(
+        "No false dependencies needed: the commutativity analysis proves "
+        "the shared packages commute (idempotent directory creation, §4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Silent failures and non-idempotence: the paper's Fig. 3c and 3d.
+
+Fig. 3c: a manifest removes Perl and installs the Go compiler.  On
+Ubuntu 14.04 golang-go *depends on* Perl, so the two orders silently
+reach different machine states — no error is ever raised.  Adding the
+"obvious" dependency makes the manifest deterministic but leaves it
+fundamentally inconsistent: installing Go reinstalls Perl, so `perl
+absent` is never achieved.  The §5 invariant checker exposes this.
+
+Fig. 3d: copying a file and deleting the source is deterministic but
+not idempotent — the second run always fails.
+
+Run:  python examples/package_conflicts.py
+"""
+
+from repro import Rehearsal
+from repro.analysis import ensures_absent
+from repro.core.report import render_determinism, render_idempotence
+from repro.resources.package import marker_path
+
+FIG_3C = """
+package{'golang-go': ensure => present }
+package{'perl': ensure => absent }
+"""
+
+FIG_3C_ORDERED = FIG_3C + """
+Package['perl'] -> Package['golang-go']
+"""
+
+FIG_3D = """
+file{'/dst': source => '/src' }
+file{'/src': ensure => absent }
+File['/dst'] -> File['/src']
+"""
+
+
+def main() -> None:
+    tool = Rehearsal()
+
+    print("=== Fig. 3c: remove Perl + install Go, unordered ===")
+    result = tool.check_determinism(FIG_3C)
+    print(render_determinism(result))
+    assert not result.deterministic
+    print()
+    print(
+        "Both diverging outcomes can be successes: this is a *silent* "
+        "failure — replicas of this manifest drift apart with no error."
+    )
+
+    print()
+    print("=== Fig. 3c with Package['perl'] -> Package['golang-go'] ===")
+    result = tool.check_determinism(FIG_3C_ORDERED)
+    print(render_determinism(result))
+    assert result.deterministic
+    print()
+    print("Deterministic — but is 'perl absent' ever achieved?")
+    invariant = tool.check_invariant(
+        FIG_3C_ORDERED, ensures_absent(marker_path("perl"))
+    )
+    if invariant.holds:
+        print("perl ends up absent on every successful run.")
+    else:
+        print(
+            "INCONSISTENT: installing golang-go reinstalls perl "
+            "(dependency), so the manifest never achieves its own "
+            "declared state.  It should be rejected."
+        )
+    assert not invariant.holds
+
+    print()
+    print("=== Fig. 3d: copy then delete the source ===")
+    result = tool.check_determinism(FIG_3D)
+    print(render_determinism(result))
+    assert result.deterministic
+    idem = tool.check_idempotence(FIG_3D)
+    print(render_idempotence(idem))
+    assert not idem.idempotent
+    print()
+    print(
+        "Individually idempotent resources composed into a manifest "
+        "whose second run always fails (the first run deletes /src)."
+    )
+
+
+if __name__ == "__main__":
+    main()

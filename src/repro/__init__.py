@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of *Rehearsal: A Configuration
+Verification Tool for Puppet* (Shambaugh, Weiss, Guha — PLDI 2016).
+
+Public API tour:
+
+* :class:`repro.Rehearsal` — the end-to-end tool: parse a Puppet
+  manifest, build its resource graph, and verify determinism and
+  idempotence.
+* :mod:`repro.puppet` — the Puppet DSL frontend (§3.1).
+* :mod:`repro.fs` — the FS language of filesystem operations (§3.2).
+* :mod:`repro.resources` — resource models, C : R → FS (§3.3).
+* :mod:`repro.analysis` — determinacy (§4), idempotence and invariants
+  (§5), plus the scaling analyses (commutativity, pruning,
+  elimination).
+* :mod:`repro.smt`, :mod:`repro.logic`, :mod:`repro.sat` — the solver
+  substrate replacing Z3 (see DESIGN.md).
+* :mod:`repro.corpus` — the 13 benchmark configurations of §6.
+"""
+
+from repro.analysis.determinism import DeterminismOptions, DeterminismResult
+from repro.analysis.idempotence import IdempotenceResult
+from repro.core.pipeline import Rehearsal, VerificationReport
+from repro.errors import (
+    AnalysisBudgetExceeded,
+    DependencyCycleError,
+    PuppetEvalError,
+    PuppetSyntaxError,
+    ReproError,
+    ResourceModelError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisBudgetExceeded",
+    "DependencyCycleError",
+    "DeterminismOptions",
+    "DeterminismResult",
+    "IdempotenceResult",
+    "PuppetEvalError",
+    "PuppetSyntaxError",
+    "Rehearsal",
+    "ReproError",
+    "ResourceModelError",
+    "VerificationReport",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""The paper's analyses: commutativity (§4.3), definitive writes and
+pruning (§4.4), resource elimination (§4.4), determinacy (§4, Thm. 1),
+equivalence/idempotence and invariants (§5)."""
+
+from repro.analysis.commutativity import (
+    Access,
+    Footprint,
+    exprs_commute,
+    footprint,
+    footprints_commute,
+)
+from repro.analysis.definitive import (
+    A_DIR,
+    A_DNE,
+    AFile,
+    BOT,
+    TOP,
+    WriteProfile,
+    analyze_definitive,
+)
+from repro.analysis.determinism import (
+    DeterminismOptions,
+    DeterminismResult,
+    DeterminismStats,
+    check_determinism,
+)
+from repro.analysis.elimination import EliminationReport, eliminate_resources
+from repro.analysis.equivalence import (
+    EquivalenceResult,
+    check_commutes_semantically,
+    check_equivalence,
+)
+from repro.analysis.idempotence import (
+    IdempotenceResult,
+    check_idempotence,
+    check_idempotence_expr,
+)
+from repro.analysis.invariants import (
+    InvariantResult,
+    check_invariant,
+    ensures_absent,
+    ensures_directory,
+    ensures_file,
+    ensures_present,
+)
+from repro.analysis.pruning import PruneReport, prune, prune_manifest
+from repro.analysis.repair import RepairResult, synthesize_repair
+
+__all__ = [
+    "A_DIR",
+    "A_DNE",
+    "AFile",
+    "Access",
+    "BOT",
+    "DeterminismOptions",
+    "DeterminismResult",
+    "DeterminismStats",
+    "EliminationReport",
+    "EquivalenceResult",
+    "Footprint",
+    "IdempotenceResult",
+    "InvariantResult",
+    "PruneReport",
+    "RepairResult",
+    "TOP",
+    "WriteProfile",
+    "analyze_definitive",
+    "check_commutes_semantically",
+    "check_determinism",
+    "check_equivalence",
+    "check_idempotence",
+    "check_idempotence_expr",
+    "check_invariant",
+    "ensures_absent",
+    "ensures_directory",
+    "ensures_file",
+    "ensures_present",
+    "exprs_commute",
+    "eliminate_resources",
+    "footprint",
+    "footprints_commute",
+    "prune",
+    "prune_manifest",
+    "synthesize_repair",
+]

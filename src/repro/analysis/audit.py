@@ -1,0 +1,119 @@
+"""Static security/ownership auditing (the paper's §9: "we believe our
+approach to modeling Puppet will enable several other tools, e.g. ...
+security auditing").
+
+Two kinds of checks over a compiled resource graph:
+
+* **write-scope audit** — which resources may write inside protected
+  subtrees (footprint-based, §4.3 machinery reused);
+* **protected-path invariants** — SAT-backed proofs that a manifest
+  never deletes or clobbers a given path on any successful run (the §5
+  invariant checker specialized to audits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.analysis.commutativity import footprint
+from repro.analysis.invariants import check_invariant
+from repro.fs import FileSystem
+from repro.fs import syntax as fx
+from repro.fs.paths import Path
+from repro.logic.terms import Term, TermBank
+from repro.smt.state import SymbolicState
+
+NodeId = Hashable
+
+
+@dataclass
+class WriteFinding:
+    resource: NodeId
+    path: Path
+    kind: str  # "write" | "dir-ensure" | "removes-children"
+
+
+@dataclass
+class AuditReport:
+    findings: List[WriteFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_resource(self) -> Dict[NodeId, List[WriteFinding]]:
+        out: Dict[NodeId, List[WriteFinding]] = {}
+        for f in self.findings:
+            out.setdefault(f.resource, []).append(f)
+        return out
+
+    def render(self) -> str:
+        if self.clean:
+            return "audit clean: no writes into protected subtrees"
+        lines = ["protected-subtree writes:"]
+        for node, findings in sorted(
+            self.by_resource().items(), key=lambda kv: str(kv[0])
+        ):
+            for f in findings:
+                lines.append(f"  {node}: {f.kind} {f.path}")
+        return "\n".join(lines)
+
+
+def audit_writes(
+    programs: Dict[NodeId, fx.Expr],
+    protected: Sequence[Path],
+    allow: Sequence[NodeId] = (),
+) -> AuditReport:
+    """Report every resource whose footprint writes (or removes
+    children) inside a protected subtree; ``allow`` lists resources
+    exempted by policy."""
+    allowed = set(allow)
+    report = AuditReport()
+    for node, expr in programs.items():
+        if node in allowed:
+            continue
+        fp = footprint(expr)
+        for path in sorted(fp.writes):
+            if _under_any(path, protected):
+                report.findings.append(WriteFinding(node, path, "write"))
+        for path in sorted(fp.dir_ensures):
+            if _under_any(path, protected) and path not in protected:
+                report.findings.append(
+                    WriteFinding(node, path, "dir-ensure")
+                )
+        for path in sorted(fp.children_reads):
+            # rm of a protected dir (children observation + write).
+            if path in fp.writes and _under_any(path, protected):
+                continue  # already reported as a write
+    return report
+
+
+def _under_any(path: Path, roots: Sequence[Path]) -> bool:
+    return any(r == path or r.is_ancestor_of(path) for r in roots)
+
+
+def prove_never_deleted(
+    graph: "nx.DiGraph",
+    programs: Dict[NodeId, fx.Expr],
+    path: Path,
+) -> Tuple[bool, Optional[FileSystem]]:
+    """SAT-backed proof: on every successful run, if ``path`` existed
+    initially it still exists at the end.  Returns (holds, witness).
+
+    Sound only on deterministic graphs (one linearization stands for
+    all, §5)."""
+    order = list(nx.topological_sort(graph))
+    e = fx.seq(*[programs[n] for n in order])
+
+    def prop(bank: TermBank, final: SymbolicState) -> Term:
+        from repro.smt.values import initial_var_name, V_DNE
+
+        existed = bank.not_(bank.var(initial_var_name(path, V_DNE)))
+        still_there = bank.not_(final.value(path).is_dne(bank))
+        return bank.implies(existed, still_there)
+
+    result = check_invariant(e, prop, extra_paths=(path,))
+    return result.holds, result.witness_fs

@@ -1,0 +1,351 @@
+"""The determinacy analysis (paper §4, Theorem 1).
+
+``check_determinism`` decides whether a resource graph maps every
+initial filesystem to at most one outcome:
+
+1. optionally *eliminate* resources that cannot affect the verdict
+   (§4.4) and *prune* paths private to single resources (§4.4);
+2. symbolically execute the graph (Fig. 7's Φ_G) with the
+   commutativity reduction (Fig. 9a): when a fringe resource commutes
+   with every other remaining resource that could be scheduled before
+   or after it, explore only that resource next instead of branching;
+3. assert that some explored final state differs from the first one —
+   state equality is transitive at a fixed initial state, so comparing
+   every branch against branch 0 is equivalent to comparing all pairs;
+4. hand the formula to the SAT backend.  SAT ⇒ non-deterministic, with
+   a decoded witness initial filesystem and two diverging orders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.analysis.commutativity import Footprint, footprint, footprints_commute
+from repro.analysis.elimination import EliminationReport, eliminate_resources
+from repro.analysis.pruning import PruneReport, prune_manifest
+from repro.errors import AnalysisBudgetExceeded
+from repro.fs import FileSystem, eval_expr, seq
+from repro.fs import syntax as fx
+from repro.logic.terms import TermBank
+from repro.smt.encoder import apply_expr
+from repro.smt.model import decode_filesystem
+from repro.smt.query import Query
+from repro.smt.state import (
+    SymbolicState,
+    initial_constraints,
+    initial_state,
+    states_differ,
+)
+from repro.smt.values import PathDomains
+
+NodeId = Hashable
+
+
+@dataclass
+class DeterminismOptions:
+    """Switches for the three scaling techniques of §4 — the Fig. 11
+    experiments toggle these."""
+
+    use_commutativity: bool = True
+    use_pruning: bool = True
+    use_elimination: bool = True
+    use_simplification: bool = True
+    well_formed_initial: bool = True
+    max_branches: int = 5000
+    timeout_seconds: Optional[float] = None
+    max_conflicts: Optional[int] = None
+
+
+@dataclass
+class DeterminismStats:
+    """Instrumentation reported by every check (feeds Fig. 11)."""
+
+    resources_total: int = 0
+    resources_after_elimination: int = 0
+    paths_before_pruning: int = 0
+    paths_after_pruning: int = 0
+    modeled_paths: int = 0
+    branches_explored: int = 0
+    sat_vars: int = 0
+    sat_clauses: int = 0
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    elimination_fallback: bool = False
+
+
+@dataclass
+class DeterminismResult:
+    deterministic: bool
+    stats: DeterminismStats
+    witness_fs: Optional[FileSystem] = None
+    witness_orders: Optional[Tuple[List[NodeId], List[NodeId]]] = None
+    witness_outcomes: Optional[Tuple[object, object]] = None
+
+    def __bool__(self) -> bool:
+        return self.deterministic
+
+
+class _Explorer:
+    """Symbolic execution of Φ_G with the Fig. 9a reduction."""
+
+    def __init__(
+        self,
+        graph: "nx.DiGraph",
+        programs: Dict[NodeId, fx.Expr],
+        bank: TermBank,
+        options: DeterminismOptions,
+        deadline: Optional[float],
+    ):
+        self.graph = graph
+        self.programs = programs
+        self.bank = bank
+        self.options = options
+        self.deadline = deadline
+        self.prints: Dict[NodeId, Footprint] = {
+            n: footprint(programs[n]) for n in graph.nodes
+        }
+        self.branches = 0
+        self.finals: List[Tuple[SymbolicState, List[NodeId]]] = []
+
+    def run(self, init: SymbolicState) -> None:
+        remaining = set(self.graph.nodes)
+        indegree = {
+            n: self.graph.in_degree(n) for n in self.graph.nodes
+        }
+        self._explore(remaining, indegree, init, [])
+
+    def _explore(
+        self,
+        remaining: set,
+        indegree: Dict[NodeId, int],
+        state: SymbolicState,
+        order: List[NodeId],
+    ) -> None:
+        if not remaining:
+            self.finals.append((state, list(order)))
+            return
+        self._check_budget()
+        fringe = sorted(
+            (n for n in remaining if indegree[n] == 0), key=str
+        )
+        assert fringe, "resource graph has a cycle"
+        chosen: Optional[List[NodeId]] = None
+        if self.options.use_commutativity:
+            for n in fringe:
+                if self._commutes_with_all(n, remaining):
+                    chosen = [n]
+                    break
+        if chosen is None:
+            chosen = fringe
+        for n in chosen:
+            self.branches += 1
+            next_state = apply_expr(self.bank, state, self.programs[n])
+            remaining.discard(n)
+            touched = []
+            for succ in self.graph.successors(n):
+                if succ in remaining:
+                    indegree[succ] -= 1
+                    touched.append(succ)
+            order.append(n)
+            self._explore(remaining, indegree, next_state, order)
+            order.pop()
+            for succ in touched:
+                indegree[succ] += 1
+            remaining.add(n)
+
+    def _commutes_with_all(self, n: NodeId, remaining: set) -> bool:
+        """True when n commutes with every other remaining resource
+        that is not a descendant of n (descendants always run after n
+        in every linearization, so they never need to swap past it)."""
+        descendants = nx.descendants(self.graph, n)
+        fp = self.prints[n]
+        for m in remaining:
+            if m == n or m in descendants:
+                continue
+            if not footprints_commute(fp, self.prints[m]):
+                return False
+        return True
+
+    def _check_budget(self) -> None:
+        if self.branches > self.options.max_branches:
+            raise AnalysisBudgetExceeded(
+                f"exceeded {self.options.max_branches} exploration branches "
+                "(the manifest has too many unordered, non-commuting "
+                "resources — see Fig. 13)",
+                branches=self.branches,
+            )
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise AnalysisBudgetExceeded(
+                "determinism check timed out", branches=self.branches
+            )
+
+
+def check_determinism(
+    graph: "nx.DiGraph",
+    programs: Dict[NodeId, fx.Expr],
+    options: Optional[DeterminismOptions] = None,
+) -> DeterminismResult:
+    """Decide determinism of a resource graph (Theorem 1).
+
+    ``graph`` edges point prerequisite → dependent; ``programs`` maps
+    node ids to compiled FS programs.
+    """
+    options = options or DeterminismOptions()
+    stats = DeterminismStats(resources_total=graph.number_of_nodes())
+    start = time.perf_counter()
+    deadline = (
+        start + options.timeout_seconds
+        if options.timeout_seconds is not None
+        else None
+    )
+
+    work_graph = graph
+    work_programs = dict(programs)
+
+    if options.use_elimination:
+        work_graph, elim = eliminate_resources(work_graph, work_programs)
+    stats.resources_after_elimination = work_graph.number_of_nodes()
+
+    node_list = list(work_graph.nodes)
+    exprs = [work_programs[n] for n in node_list]
+    if options.use_pruning and node_list:
+        pruned_exprs, prune_report = prune_manifest(exprs)
+        stats.paths_before_pruning = prune_report.stateful_before
+        stats.paths_after_pruning = prune_report.stateful_after
+        for n, e in zip(node_list, pruned_exprs):
+            work_programs[n] = e
+    else:
+        from repro.analysis.commutativity import footprint as _fp
+
+        stateful = set()
+        for e in exprs:
+            fp = _fp(e)
+            stateful |= fp.writes | fp.dir_ensures
+        stats.paths_before_pruning = len(stateful)
+        stats.paths_after_pruning = len(stateful)
+
+    if options.use_simplification:
+        from repro.fs.rewrite import simplify
+
+        for n in list(work_graph.nodes):
+            work_programs[n] = simplify(work_programs[n])
+
+    if work_graph.number_of_nodes() <= 1:
+        stats.total_seconds = time.perf_counter() - start
+        stats.modeled_paths = stats.paths_after_pruning
+        return DeterminismResult(True, stats)
+
+    bank = TermBank()
+    domains = PathDomains.for_exprs(
+        [work_programs[n] for n in work_graph.nodes]
+    )
+    stats.modeled_paths = len(domains)
+    init = initial_state(bank, domains)
+
+    encode_start = time.perf_counter()
+    explorer = _Explorer(work_graph, work_programs, bank, options, deadline)
+    explorer.run(init)
+    stats.branches_explored = explorer.branches
+    finals = explorer.finals
+
+    if len(finals) <= 1:
+        stats.encode_seconds = time.perf_counter() - encode_start
+        stats.total_seconds = time.perf_counter() - start
+        return DeterminismResult(True, stats)
+
+    base_state, base_order = finals[0]
+    differs = [
+        states_differ(bank, state, base_state, domains.paths)
+        for state, _ in finals[1:]
+    ]
+    goal = bank.and_(
+        initial_constraints(
+            bank, domains, well_formed=options.well_formed_initial
+        ),
+        bank.or_(*differs),
+    )
+    stats.encode_seconds = time.perf_counter() - encode_start
+
+    query = Query(bank)
+    query.assert_term(goal)
+    result = query.check(max_conflicts=options.max_conflicts)
+    stats.sat_vars = result.num_vars
+    stats.sat_clauses = result.num_clauses
+    stats.solve_seconds = result.solve_seconds
+    stats.total_seconds = time.perf_counter() - start
+
+    if not result.sat:
+        return DeterminismResult(True, stats)
+
+    witness = decode_filesystem(domains, result.named_model)
+    orders = _diverging_orders(
+        witness, finals, {n: programs[n] for n in graph.nodes}, graph
+    )
+    if orders is None and options.use_elimination:
+        # An eliminated resource masked the symbolic difference by
+        # erroring on the witness state: the paper's "e1;e ≡ e2;e iff
+        # e1 ≡ e2" step is incomplete for error-masking resources.
+        # Re-check without elimination (sound and complete, slower).
+        fallback = DeterminismOptions(
+            use_commutativity=options.use_commutativity,
+            use_pruning=options.use_pruning,
+            use_elimination=False,
+            use_simplification=options.use_simplification,
+            well_formed_initial=options.well_formed_initial,
+            max_branches=options.max_branches,
+            timeout_seconds=options.timeout_seconds,
+            max_conflicts=options.max_conflicts,
+        )
+        retry = check_determinism(graph, programs, fallback)
+        retry.stats.elimination_fallback = True
+        retry.stats.total_seconds += stats.total_seconds
+        return retry
+    outcome_pair = None
+    order_pair = None
+    if orders is not None:
+        order_pair = (orders[0], orders[1])
+        outcome_pair = (orders[2], orders[3])
+    return DeterminismResult(
+        False,
+        stats,
+        witness_fs=witness,
+        witness_orders=order_pair,
+        witness_outcomes=outcome_pair,
+    )
+
+
+def _diverging_orders(
+    witness: FileSystem,
+    finals: Sequence[Tuple[SymbolicState, List[NodeId]]],
+    original_programs: Dict[NodeId, fx.Expr],
+    graph: "nx.DiGraph",
+):
+    """Concretely re-run the explored orders (with the *original*,
+    unpruned programs) on the witness to exhibit two diverging ones.
+
+    Eliminated resources are absent from the explored orders; they
+    commute with everything after them, so appending them (in an order
+    respecting their mutual dependencies) keeps the divergence visible
+    while running full programs.
+    """
+    explored_nodes = set(finals[0][1])
+    tail = [
+        n
+        for n in nx.topological_sort(graph)
+        if n not in explored_nodes
+    ]
+    outcomes = []
+    for _, order in finals:
+        full_order = list(order) + tail
+        program = seq(*[original_programs[n] for n in full_order])
+        outcomes.append((full_order, eval_expr(program, witness)))
+    base_order, base_outcome = outcomes[0]
+    for other_order, other_outcome in outcomes[1:]:
+        if other_outcome != base_outcome:
+            return base_order, other_order, base_outcome, other_outcome
+    return None

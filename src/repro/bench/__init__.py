@@ -1,0 +1,31 @@
+"""Benchmark harness for the paper's §6 figures."""
+
+from repro.bench.harness import (
+    BenchResult,
+    TIMEOUT,
+    fig11a_rows,
+    fig11b_rows,
+    fig11c_rows,
+    fig12_rows,
+    fig13_deterministic_rows,
+    fig13_rows,
+    render_rows,
+    synthetic_conflict_graph,
+    timed_determinism,
+    verdict_rows,
+)
+
+__all__ = [
+    "BenchResult",
+    "TIMEOUT",
+    "fig11a_rows",
+    "fig11b_rows",
+    "fig11c_rows",
+    "fig12_rows",
+    "fig13_deterministic_rows",
+    "fig13_rows",
+    "render_rows",
+    "synthetic_conflict_graph",
+    "timed_determinism",
+    "verdict_rows",
+]

@@ -1,0 +1,296 @@
+"""Benchmark harness regenerating every figure of the paper's §6.
+
+The figure-to-configuration mapping follows the paper's experimental
+setup:
+
+* **Fig. 11a** — modeled (stateful) paths per benchmark, with and
+  without pruning.
+* **Fig. 11b** — determinacy-analysis time with commutativity checking
+  on, toggling *pruning* (the paper's Fig. 11b caption covers both
+  §4.4 passes: resource elimination and file pruning — they toggle
+  together here).
+* **Fig. 11c** — determinacy-analysis time without the §4.4 passes,
+  toggling the *commutativity* reduction; without it several
+  benchmarks exceed the time budget, reproducing the paper's timeouts.
+* **Fig. 12** — idempotence-check time per benchmark (fixed variants
+  stand in for the non-deterministic six, per §5).
+* **Fig. 13** — determinacy-analysis time against n unordered,
+  mutually conflicting file writes (n = 2..6): the commutativity check
+  is useless by construction and the exploration grows factorially.
+
+Absolute numbers differ from the paper (different machine, a pure
+Python CDCL solver instead of Z3); the *shapes* are the reproduction
+target.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.determinism import DeterminismOptions, check_determinism
+from repro.analysis.idempotence import check_idempotence
+from repro.analysis.pruning import prune_manifest
+from repro.core.pipeline import Rehearsal
+from repro.corpus import BENCHMARK_NAMES, idempotence_subject, load_source
+from repro.errors import AnalysisBudgetExceeded
+from repro.fs import Path, creat, file_, ite, none_, rm, seq
+
+DEFAULT_TIMEOUT = 60.0
+DEFAULT_MAX_BRANCHES = 20_000
+
+TIMEOUT = float("inf")
+"""Sentinel time value reported when the budget is exhausted."""
+
+
+@dataclass
+class BenchResult:
+    name: str
+    seconds: float  # TIMEOUT when the budget was exhausted
+    deterministic: Optional[bool] = None
+    detail: Dict[str, float] = None  # type: ignore[assignment]
+
+    @property
+    def timed_out(self) -> bool:
+        return self.seconds == TIMEOUT
+
+
+def _compile(name: str):
+    tool = Rehearsal()
+    return tool.compile(load_source(name))
+
+
+def timed_determinism(
+    name: str,
+    use_commutativity: bool,
+    use_pruning: bool,
+    timeout: float = DEFAULT_TIMEOUT,
+    max_branches: int = DEFAULT_MAX_BRANCHES,
+) -> BenchResult:
+    """One determinacy run under a configuration; budget-aware."""
+    graph, programs = _compile(name)
+    options = DeterminismOptions(
+        use_commutativity=use_commutativity,
+        use_pruning=use_pruning,
+        use_elimination=use_pruning,  # §4.4 passes toggle together
+        timeout_seconds=timeout,
+        max_branches=max_branches,
+    )
+    start = time.perf_counter()
+    try:
+        result = check_determinism(graph, programs, options)
+    except AnalysisBudgetExceeded:
+        return BenchResult(name, TIMEOUT)
+    return BenchResult(
+        name,
+        time.perf_counter() - start,
+        deterministic=result.deterministic,
+    )
+
+
+# -- Fig. 11a -----------------------------------------------------------------
+
+
+def fig11a_rows() -> List[Tuple[str, int, int]]:
+    """(benchmark, written paths without pruning, with pruning).
+
+    Counts paths some resource *writes* (the paper's "files per
+    state"); idempotently-ensured shared directories (the D class of
+    §4.3) are excluded from both sides, since they are never prunable
+    by construction."""
+    from repro.analysis.commutativity import footprint
+
+    rows = []
+    for name in BENCHMARK_NAMES:
+        graph, programs = _compile(name)
+        exprs = list(programs.values())
+        before = set().union(*[footprint(e).writes for e in exprs])
+        pruned, _ = prune_manifest(exprs)
+        after = set().union(*[footprint(e).writes for e in pruned])
+        rows.append((name, len(before), len(after)))
+    return rows
+
+
+# -- Fig. 11b / 11c -----------------------------------------------------------
+
+
+def fig11b_rows(
+    timeout: float = DEFAULT_TIMEOUT,
+    names: Sequence[str] = tuple(BENCHMARK_NAMES),
+) -> List[Tuple[str, float, float]]:
+    """(benchmark, seconds without pruning, seconds with pruning)."""
+    rows = []
+    for name in names:
+        off = timed_determinism(
+            name, use_commutativity=True, use_pruning=False, timeout=timeout
+        )
+        on = timed_determinism(
+            name, use_commutativity=True, use_pruning=True, timeout=timeout
+        )
+        rows.append((name, off.seconds, on.seconds))
+    return rows
+
+
+def fig11c_rows(
+    timeout: float = DEFAULT_TIMEOUT,
+    names: Sequence[str] = tuple(BENCHMARK_NAMES),
+) -> List[Tuple[str, float, float]]:
+    """(benchmark, seconds without commutativity, with commutativity);
+    both without the §4.4 passes, as in the paper's middle column."""
+    rows = []
+    for name in names:
+        off = timed_determinism(
+            name, use_commutativity=False, use_pruning=False, timeout=timeout
+        )
+        on = timed_determinism(
+            name, use_commutativity=True, use_pruning=False, timeout=timeout
+        )
+        rows.append((name, off.seconds, on.seconds))
+    return rows
+
+
+# -- Fig. 12 -------------------------------------------------------------------
+
+
+def fig12_rows() -> List[Tuple[str, float]]:
+    """(benchmark, idempotence-check seconds)."""
+    rows = []
+    for name in BENCHMARK_NAMES:
+        subject = idempotence_subject(name)
+        graph, programs = _compile(subject)
+        start = time.perf_counter()
+        result = check_idempotence(graph, programs)
+        elapsed = time.perf_counter() - start
+        assert result.idempotent, f"{subject} must be idempotent"
+        rows.append((name, elapsed))
+    return rows
+
+
+# -- Fig. 13 -------------------------------------------------------------------
+
+
+def conflicting_write(path: str, content: str):
+    """An overwrite-style write: last writer wins, so n of these to
+    one path defeat the commutativity check and cannot be pruned."""
+    p = Path.of(path)
+    return ite(
+        file_(p),
+        seq(rm(p), creat(p, content)),
+        ite(none_(p), creat(p, content), seq(rm(p), creat(p, content))),
+    )
+
+
+def synthetic_conflict_graph(n: int):
+    """n unordered resources all writing different content to /shared
+    (the paper's Fig. 13 workload, built directly in FS because Puppet
+    rejects duplicate file paths)."""
+    import networkx as nx
+
+    programs = {
+        f"w{i}": conflicting_write("/shared", f"content-{i}")
+        for i in range(n)
+    }
+    graph = nx.DiGraph()
+    graph.add_nodes_from(programs)
+    return graph, programs
+
+
+def fig13_rows(
+    ns: Sequence[int] = (2, 3, 4, 5, 6),
+    timeout: float = DEFAULT_TIMEOUT,
+    max_branches: int = 200_000,
+) -> List[Tuple[int, float]]:
+    """(n, seconds) for the synthetic conflicting-writes benchmark."""
+    rows = []
+    for n in ns:
+        graph, programs = synthetic_conflict_graph(n)
+        options = DeterminismOptions(
+            timeout_seconds=timeout, max_branches=max_branches
+        )
+        start = time.perf_counter()
+        try:
+            result = check_determinism(graph, programs, options)
+            assert not result.deterministic
+            rows.append((n, time.perf_counter() - start))
+        except AnalysisBudgetExceeded:
+            rows.append((n, TIMEOUT))
+    return rows
+
+
+def fig13_deterministic_rows(
+    ns: Sequence[int] = (2, 3, 4),
+    timeout: float = DEFAULT_TIMEOUT,
+    max_branches: int = 200_000,
+) -> List[Tuple[int, float]]:
+    """The paper's harder variant: a final file resource ordered after
+    all n conflicting writers makes the manifest deterministic, forcing
+    a full unsatisfiability proof instead of an early model."""
+    import networkx as nx
+
+    rows = []
+    for n in ns:
+        graph, programs = synthetic_conflict_graph(n)
+        programs["final"] = conflicting_write("/shared", "x")
+        graph.add_node("final")
+        for i in range(n):
+            graph.add_edge(f"w{i}", "final")
+        options = DeterminismOptions(
+            timeout_seconds=timeout, max_branches=max_branches
+        )
+        start = time.perf_counter()
+        try:
+            result = check_determinism(graph, programs, options)
+            assert result.deterministic
+            rows.append((n, time.perf_counter() - start))
+        except AnalysisBudgetExceeded:
+            rows.append((n, TIMEOUT))
+    return rows
+
+
+# -- §6 verdict table -----------------------------------------------------------
+
+
+def verdict_rows() -> List[Tuple[str, bool, Optional[bool]]]:
+    """(benchmark, deterministic?, idempotent-of-subject?)."""
+    tool = Rehearsal()
+    rows = []
+    for name in BENCHMARK_NAMES:
+        det = tool.check_determinism(load_source(name)).deterministic
+        idem = tool.check_idempotence(
+            load_source(idempotence_subject(name))
+        ).idempotent
+        rows.append((name, det, idem))
+    return rows
+
+
+# -- rendering -------------------------------------------------------------------
+
+
+def fmt_seconds(s: float) -> str:
+    return "timeout" if s == TIMEOUT else f"{s:8.3f}s"
+
+
+def render_rows(
+    title: str, header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    widths = [
+        max(len(str(header[i])), max((len(_cell(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return fmt_seconds(value)
+    return str(value)

@@ -1,0 +1,16 @@
+"""The end-to-end Rehearsal tool."""
+
+from repro.core.pipeline import Rehearsal, VerificationReport
+from repro.core.report import (
+    render_determinism,
+    render_idempotence,
+    render_report,
+)
+
+__all__ = [
+    "Rehearsal",
+    "VerificationReport",
+    "render_determinism",
+    "render_idempotence",
+    "render_report",
+]

@@ -1,0 +1,106 @@
+"""Command-line interface: ``rehearsal <manifest.pp> [--platform ...]``.
+
+Mirrors the artifact's CLI (§8: "Rehearsal takes the platform name as
+a command-line flag").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path as OsPath
+
+from repro.analysis.determinism import DeterminismOptions
+from repro.core.pipeline import Rehearsal
+from repro.core.report import render_report
+from repro.resources.compiler import ModelContext
+from repro.resources.package_db import PackageDatabase
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal",
+        description=(
+            "Verify that a Puppet manifest is deterministic and idempotent "
+            "(reproduction of Shambaugh et al., PLDI 2016)."
+        ),
+    )
+    parser.add_argument("manifest", help="path to a .pp manifest file")
+    parser.add_argument(
+        "--platform",
+        default="ubuntu",
+        help="target platform for package modeling (default: ubuntu)",
+    )
+    parser.add_argument(
+        "--node",
+        default="default",
+        help="node name used to select node blocks",
+    )
+    parser.add_argument(
+        "--no-pruning",
+        action="store_true",
+        help="disable file pruning (§4.4)",
+    )
+    parser.add_argument(
+        "--no-commutativity",
+        action="store_true",
+        help="disable the commutativity reduction (§4.3)",
+    )
+    parser.add_argument(
+        "--no-elimination",
+        action="store_true",
+        help="disable resource elimination (§4.4)",
+    )
+    parser.add_argument(
+        "--strict-packages",
+        action="store_true",
+        help="fail on packages missing from the database instead of "
+        "synthesizing a listing",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="analysis timeout in seconds",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="on non-determinism, narrate both diverging orders step "
+        "by step on the witness machine state",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    source = OsPath(args.manifest).read_text(encoding="utf8")
+    options = DeterminismOptions(
+        use_pruning=not args.no_pruning,
+        use_commutativity=not args.no_commutativity,
+        use_elimination=not args.no_elimination,
+        timeout_seconds=args.timeout,
+    )
+    context = ModelContext(
+        package_db=PackageDatabase(synthesize=not args.strict_packages),
+        platform=args.platform,
+    )
+    tool = Rehearsal(context=context, options=options, node_name=args.node)
+    report = tool.verify(source, name=args.manifest)
+    print(render_report(report))
+    if (
+        args.explain
+        and report.determinism is not None
+        and not report.determinism.deterministic
+        and report.error is None
+    ):
+        from repro.core.report import render_explanation
+
+        _, programs = tool.compile(source)
+        print()
+        print(render_explanation(report.determinism, programs))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""The end-to-end Rehearsal pipeline.
+
+``Rehearsal`` ties the whole system together: Puppet source → catalog →
+resource graph → FS programs → determinacy analysis → (if
+deterministic) idempotence and invariant checks — the tool the paper's
+§6 evaluates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.analysis.determinism import (
+    DeterminismOptions,
+    DeterminismResult,
+    check_determinism,
+)
+from repro.analysis.idempotence import IdempotenceResult, check_idempotence
+from repro.analysis.invariants import (
+    FinalStateProperty,
+    InvariantResult,
+    check_invariant,
+)
+from repro.errors import ReproError
+from repro.fs import Expr, seq
+from repro.puppet.evaluator import Evaluator
+from repro.puppet.parser import parse_manifest
+from repro.resources.compiler import ModelContext, ResourceCompiler
+
+
+@dataclass
+class VerificationReport:
+    """Everything Rehearsal determined about one manifest."""
+
+    manifest_name: str
+    resource_count: int = 0
+    deterministic: Optional[bool] = None
+    idempotent: Optional[bool] = None
+    determinism: Optional[DeterminismResult] = None
+    idempotence: Optional[IdempotenceResult] = None
+    error: Optional[str] = None
+    total_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and bool(self.deterministic)
+            and bool(self.idempotent)
+        )
+
+
+class Rehearsal:
+    """The configuration verification tool (paper title!).
+
+    Parameters mirror the paper's CLI: the platform selects the package
+    database behaviour; options control the §4 scaling techniques.
+    """
+
+    def __init__(
+        self,
+        context: Optional[ModelContext] = None,
+        options: Optional[DeterminismOptions] = None,
+        facts: Optional[dict] = None,
+        node_name: str = "default",
+    ):
+        self.context = context or ModelContext()
+        self.options = options or DeterminismOptions()
+        self.facts = facts
+        self.node_name = node_name
+
+    # -- pipeline stages ---------------------------------------------------
+
+    def compile(self, source: str) -> Tuple["nx.DiGraph", Dict[str, Expr]]:
+        """Manifest source → (resource graph, FS programs)."""
+        manifest = parse_manifest(source)
+        evaluator = Evaluator(facts=self.facts, node_name=self.node_name)
+        catalog = evaluator.evaluate(manifest)
+        graph = catalog.build_graph()
+        compiler = ResourceCompiler(self.context)
+        programs = {
+            node: compiler.compile(data["entry"].resource)
+            for node, data in graph.nodes(data=True)
+        }
+        if self.context.package_semantics == "snapshot":
+            self._inject_snapshot_prelude(graph, programs)
+        return graph, programs
+
+    def _inject_snapshot_prelude(self, graph, programs) -> None:
+        """Snapshot package semantics: add a prelude resource that
+        mirrors installed-state into the snapshot area at the start of
+        every run, with an edge to every package resource (see
+        :mod:`repro.resources.snapshot`)."""
+        from repro.resources.snapshot import (
+            SNAPSHOT_EPILOGUE_NODE,
+            SNAPSHOT_PRELUDE_NODE,
+            packages_in_snapshot_scope,
+            snapshot_epilogue,
+            snapshot_prelude,
+        )
+
+        package_nodes = [
+            node
+            for node, data in graph.nodes(data=True)
+            if data["entry"].resource.rtype == "package"
+        ]
+        if not package_nodes:
+            return
+        names = [
+            graph.nodes[node]["entry"].resource.get_str("name")
+            or graph.nodes[node]["entry"].resource.title
+            for node in package_nodes
+        ]
+        scope = packages_in_snapshot_scope(self.context.package_db, names)
+        graph.add_node(SNAPSHOT_PRELUDE_NODE)
+        graph.add_node(SNAPSHOT_EPILOGUE_NODE)
+        programs[SNAPSHOT_PRELUDE_NODE] = snapshot_prelude(scope)
+        programs[SNAPSHOT_EPILOGUE_NODE] = snapshot_epilogue(scope)
+        for node in package_nodes:
+            graph.add_edge(SNAPSHOT_PRELUDE_NODE, node)
+            graph.add_edge(node, SNAPSHOT_EPILOGUE_NODE)
+
+    def check_determinism(self, source: str) -> DeterminismResult:
+        graph, programs = self.compile(source)
+        return check_determinism(graph, programs, self.options)
+
+    def check_idempotence(self, source: str) -> IdempotenceResult:
+        """Idempotence assumes determinism has been established
+        (§5: these checks are unsound on non-deterministic manifests)."""
+        graph, programs = self.compile(source)
+        return check_idempotence(
+            graph,
+            programs,
+            well_formed_initial=self.options.well_formed_initial,
+        )
+
+    def check_invariant(
+        self, source: str, prop: FinalStateProperty, extra_paths=()
+    ) -> InvariantResult:
+        graph, programs = self.compile(source)
+        order = list(nx.topological_sort(graph))
+        e = seq(*[programs[n] for n in order])
+        return check_invariant(
+            e,
+            prop,
+            well_formed_initial=self.options.well_formed_initial,
+            extra_paths=tuple(extra_paths),
+        )
+
+    # -- the full verification --------------------------------------------------
+
+    def verify(self, source: str, name: str = "<manifest>") -> VerificationReport:
+        """Determinism first, then idempotence (gated, per §5)."""
+        report = VerificationReport(manifest_name=name)
+        start = time.perf_counter()
+        try:
+            graph, programs = self.compile(source)
+        except ReproError as exc:
+            report.error = str(exc)
+            report.total_seconds = time.perf_counter() - start
+            return report
+        report.resource_count = graph.number_of_nodes()
+        det = check_determinism(graph, programs, self.options)
+        report.determinism = det
+        report.deterministic = det.deterministic
+        if det.deterministic:
+            idem = check_idempotence(
+                graph,
+                programs,
+                well_formed_initial=self.options.well_formed_initial,
+            )
+            report.idempotence = idem
+            report.idempotent = idem.idempotent
+        report.total_seconds = time.perf_counter() - start
+        return report

@@ -1,0 +1,185 @@
+"""Multi-platform verification (the paper's §8 closing remark).
+
+Rehearsal's analysis is platform-dependent: facts like ``$osfamily``
+steer conditionals, and package file listings differ between
+distributions.  The paper's artifact re-verifies per platform via a
+command-line flag; this module packages that workflow — platform
+profiles bundling facts with a package database — and adds the
+suggested extension: verifying one manifest across *several* platforms
+in one call and reporting where verdicts diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.determinism import DeterminismOptions
+from repro.core.pipeline import Rehearsal, VerificationReport
+from repro.resources.compiler import ModelContext
+from repro.resources.package_db import PackageDatabase, PackageInfo
+
+
+def _centos_packages() -> Dict[str, PackageInfo]:
+    """RPM-flavoured listings for the packages the corpus exercises —
+    same services, Red Hat paths and names."""
+
+    def pkg(name, files, depends=()):
+        return PackageInfo(name, tuple(files), tuple(depends))
+
+    table = [
+        pkg(
+            "httpd",
+            [
+                "/usr/sbin/httpd",
+                "/etc/httpd/conf/httpd.conf",
+                "/etc/httpd/conf.d/welcome.conf",
+                "/var/www/html/index.html",
+                "/usr/share/doc/httpd/copyright",
+            ],
+        ),
+        pkg(
+            "ntp",
+            [
+                "/usr/sbin/ntpd",
+                "/etc/ntp.conf",
+                "/usr/share/doc/ntp/copyright",
+            ],
+        ),
+        pkg(
+            "bind",
+            [
+                "/usr/sbin/named",
+                "/etc/named.conf",
+                "/var/named/named.ca",
+                "/usr/share/doc/bind/copyright",
+            ],
+        ),
+        pkg(
+            "rsyslog",
+            [
+                "/usr/sbin/rsyslogd",
+                "/etc/rsyslog.conf",
+                "/etc/rsyslog.d/listen.conf",
+                "/usr/share/doc/rsyslog/copyright",
+            ],
+        ),
+        pkg(
+            "xinetd",
+            [
+                "/usr/sbin/xinetd",
+                "/etc/xinetd.conf",
+                "/etc/xinetd.d/chargen-dgram",
+                "/usr/share/doc/xinetd/copyright",
+            ],
+        ),
+        pkg(
+            "nginx",
+            [
+                "/usr/sbin/nginx",
+                "/etc/nginx/nginx.conf",
+                "/etc/nginx/conf.d/default.conf",
+                "/usr/share/doc/nginx/copyright",
+            ],
+        ),
+    ]
+    return {info.name: info for info in table}
+
+
+@dataclass
+class PlatformProfile:
+    """Everything platform-specific the pipeline needs."""
+
+    name: str
+    facts: Dict[str, object]
+    package_db_factory: Callable[[], PackageDatabase] = PackageDatabase
+
+    def context(self) -> ModelContext:
+        return ModelContext(
+            package_db=self.package_db_factory(), platform=self.name
+        )
+
+
+UBUNTU = PlatformProfile(
+    name="ubuntu",
+    facts={
+        "operatingsystem": "Ubuntu",
+        "osfamily": "Debian",
+        "operatingsystemrelease": "14.04",
+        "lsbdistcodename": "trusty",
+    },
+)
+
+CENTOS = PlatformProfile(
+    name="centos",
+    facts={
+        "operatingsystem": "CentOS",
+        "osfamily": "RedHat",
+        "operatingsystemrelease": "7.2",
+        "lsbdistcodename": "core",
+    },
+    package_db_factory=lambda: PackageDatabase(extra=_centos_packages()),
+)
+
+PLATFORMS: Dict[str, PlatformProfile] = {
+    "ubuntu": UBUNTU,
+    "centos": CENTOS,
+}
+
+
+@dataclass
+class CrossPlatformReport:
+    """Per-platform verification plus a consistency summary."""
+
+    reports: Dict[str, VerificationReport] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """Same determinism/idempotence verdicts on every platform."""
+        verdicts = {
+            (r.deterministic, r.idempotent, r.error is not None)
+            for r in self.reports.values()
+        }
+        return len(verdicts) <= 1
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.reports.values())
+
+    def divergences(self) -> List[str]:
+        out = []
+        if self.consistent:
+            return out
+        for name, report in sorted(self.reports.items()):
+            if report.error is not None:
+                out.append(f"{name}: error — {report.error}")
+            else:
+                out.append(
+                    f"{name}: deterministic={report.deterministic} "
+                    f"idempotent={report.idempotent}"
+                )
+        return out
+
+
+def verify_across_platforms(
+    source: str,
+    platforms: Sequence[str] = ("ubuntu", "centos"),
+    options: Optional[DeterminismOptions] = None,
+    node_name: str = "default",
+) -> CrossPlatformReport:
+    """Run the full verification under each platform profile."""
+    report = CrossPlatformReport()
+    for key in platforms:
+        profile = PLATFORMS.get(key)
+        if profile is None:
+            raise KeyError(
+                f"unknown platform {key!r}; available: {sorted(PLATFORMS)}"
+            )
+        tool = Rehearsal(
+            context=profile.context(),
+            options=options,
+            facts=profile.facts,
+            node_name=node_name,
+        )
+        report.reports[key] = tool.verify(source, name=f"<{key}>")
+    return report

@@ -1,0 +1,99 @@
+"""Human-readable rendering of verification results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.determinism import DeterminismResult
+from repro.analysis.idempotence import IdempotenceResult
+from repro.core.pipeline import VerificationReport
+from repro.smt.model import describe_filesystem
+
+
+def render_explanation(result: DeterminismResult, programs) -> str:
+    """Narrate the two diverging orders step by step on the witness
+    machine state (the --explain view)."""
+    from repro.fs.trace import explain_order
+
+    if result.deterministic or result.witness_orders is None:
+        return "(nothing to explain: the manifest is deterministic)"
+    order1, order2 = result.witness_orders
+    parts = [
+        "--- order (1) ---",
+        explain_order(order1, programs, result.witness_fs),
+        "--- order (2) ---",
+        explain_order(order2, programs, result.witness_fs),
+    ]
+    return "\n".join(parts)
+
+
+def render_determinism(result: DeterminismResult) -> str:
+    lines: List[str] = []
+    if result.deterministic:
+        lines.append("DETERMINISTIC: all orders produce the same outcome.")
+    else:
+        lines.append("NON-DETERMINISTIC: resource orders diverge.")
+        if result.witness_fs is not None:
+            lines.append("Witness initial filesystem:")
+            lines.append(_indent(describe_filesystem(result.witness_fs)))
+        if result.witness_orders is not None:
+            order1, order2 = result.witness_orders
+            lines.append("Diverging orders:")
+            lines.append(f"  (1) {' -> '.join(map(str, order1))}")
+            lines.append(f"  (2) {' -> '.join(map(str, order2))}")
+        if result.witness_outcomes is not None:
+            out1, out2 = result.witness_outcomes
+            lines.append(f"Outcome (1): {_describe_outcome(out1)}")
+            lines.append(f"Outcome (2): {_describe_outcome(out2)}")
+    stats = result.stats
+    lines.append(
+        f"[{stats.resources_total} resources, "
+        f"{stats.resources_after_elimination} after elimination; "
+        f"{stats.paths_before_pruning} stateful paths, "
+        f"{stats.paths_after_pruning} after pruning; "
+        f"{stats.branches_explored} branches; "
+        f"{stats.sat_vars} vars / {stats.sat_clauses} clauses; "
+        f"{stats.total_seconds:.3f}s]"
+    )
+    return "\n".join(lines)
+
+
+def render_idempotence(result: IdempotenceResult) -> str:
+    if result.idempotent:
+        return "IDEMPOTENT: applying twice equals applying once."
+    lines = ["NOT IDEMPOTENT: a second run behaves differently."]
+    if result.witness_fs is not None:
+        lines.append("Witness initial filesystem:")
+        lines.append(_indent(describe_filesystem(result.witness_fs)))
+    return "\n".join(lines)
+
+
+def render_report(report: VerificationReport) -> str:
+    lines = [f"== {report.manifest_name} =="]
+    if report.error is not None:
+        lines.append(f"ERROR: {report.error}")
+        return "\n".join(lines)
+    lines.append(f"{report.resource_count} primitive resources")
+    if report.determinism is not None:
+        lines.append(render_determinism(report.determinism))
+    if report.idempotence is not None:
+        lines.append(render_idempotence(report.idempotence))
+    elif report.deterministic is False:
+        lines.append(
+            "(idempotence not checked: unsound for non-deterministic "
+            "manifests, §5)"
+        )
+    lines.append(f"total time: {report.total_seconds:.3f}s")
+    return "\n".join(lines)
+
+
+def _describe_outcome(outcome) -> str:
+    from repro.fs.semantics import ERROR
+
+    if outcome is ERROR:
+        return "error"
+    return f"success; final state:\n{_indent(describe_filesystem(outcome))}"
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

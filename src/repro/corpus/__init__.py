@@ -1,0 +1,163 @@
+"""The benchmark corpus: re-creations of the 13 third-party Puppet
+configurations the paper evaluates (§6) plus fixed variants of the six
+non-deterministic ones.
+
+The original manifests came from GitHub and Puppet Forge; these
+re-creations exercise the identical resource-interaction patterns and
+carry the same seeded bug classes (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import resources as importlib_resources
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """Metadata for one corpus manifest."""
+
+    name: str
+    filename: str
+    deterministic: bool
+    bug: Optional[str] = None
+    fixed_by: Optional[str] = None  # name of the fixed variant
+    description: str = ""
+
+
+CASES: Dict[str, BenchmarkCase] = {
+    case.name: case
+    for case in [
+        BenchmarkCase(
+            "amavis",
+            "amavis.pp",
+            True,
+            description="mail content filter; stages + class params",
+        ),
+        BenchmarkCase(
+            "bind",
+            "bind.pp",
+            True,
+            description="DNS server; facts/case + zone defines",
+        ),
+        BenchmarkCase(
+            "clamav",
+            "clamav.pp",
+            True,
+            description="antivirus; package deps + cron + defaults",
+        ),
+        BenchmarkCase(
+            "dns-nondet",
+            "dns-nondet.pp",
+            False,
+            bug="config fragment missing its package dependency",
+            fixed_by="dns-fixed",
+            description="dnsmasq DNS/DHCP",
+        ),
+        BenchmarkCase(
+            "hosting",
+            "hosting.pp",
+            True,
+            description="multi-site hosting; defines + virtual users + collectors",
+        ),
+        BenchmarkCase(
+            "irc-nondet",
+            "irc-nondet.pp",
+            False,
+            bug="ssh key missing its user-account dependency",
+            fixed_by="irc-fixed",
+            description="ngircd IRC server with operator account",
+        ),
+        BenchmarkCase(
+            "jpa",
+            "jpa.pp",
+            True,
+            description="Java web app; inheritance + cross-class deps",
+        ),
+        BenchmarkCase(
+            "logstash-nondet",
+            "logstash-nondet.pp",
+            False,
+            bug="pipeline config missing its package dependency",
+            fixed_by="logstash-fixed",
+            description="log aggregation",
+        ),
+        BenchmarkCase(
+            "monit",
+            "monit.pp",
+            True,
+            description="process monitoring; per-check defines",
+        ),
+        BenchmarkCase(
+            "nginx",
+            "nginx.pp",
+            True,
+            description="web server; parameterized class",
+        ),
+        BenchmarkCase(
+            "ntp-nondet",
+            "ntp-nondet.pp",
+            False,
+            bug="config file overwrites a package file without ordering "
+            "(the Fig. 3a pattern)",
+            fixed_by="ntp-fixed",
+            description="time synchronization",
+        ),
+        BenchmarkCase(
+            "rsyslog-nondet",
+            "rsyslog-nondet.pp",
+            False,
+            bug="forwarding fragment missing its package dependency",
+            fixed_by="rsyslog-fixed",
+            description="system logging",
+        ),
+        BenchmarkCase(
+            "xinetd-nondet",
+            "xinetd-nondet.pp",
+            False,
+            bug="main config overwrites the package default without ordering",
+            fixed_by="xinetd-fixed",
+            description="super-server with tftp entry",
+        ),
+    ]
+}
+
+FIXED_VARIANTS: Dict[str, str] = {
+    "dns-fixed": "dns-fixed.pp",
+    "irc-fixed": "irc-fixed.pp",
+    "logstash-fixed": "logstash-fixed.pp",
+    "ntp-fixed": "ntp-fixed.pp",
+    "rsyslog-fixed": "rsyslog-fixed.pp",
+    "xinetd-fixed": "xinetd-fixed.pp",
+}
+
+BENCHMARK_NAMES: List[str] = sorted(CASES)
+DETERMINISTIC_NAMES = [n for n in BENCHMARK_NAMES if CASES[n].deterministic]
+NONDET_NAMES = [n for n in BENCHMARK_NAMES if not CASES[n].deterministic]
+
+
+def load_source(name: str) -> str:
+    """Manifest source text for a benchmark (or fixed variant) name."""
+    if name in CASES:
+        filename = CASES[name].filename
+    elif name in FIXED_VARIANTS:
+        filename = FIXED_VARIANTS[name]
+    else:
+        raise KeyError(
+            f"unknown corpus manifest {name!r}; available: "
+            f"{BENCHMARK_NAMES + sorted(FIXED_VARIANTS)}"
+        )
+    package = importlib_resources.files("repro.corpus") / "manifests"
+    return (package / filename).read_text(encoding="utf8")
+
+
+def idempotence_subject(name: str) -> str:
+    """The manifest used for a benchmark's idempotence check: the
+    paper checks fixed versions of the non-deterministic benchmarks
+    (idempotence is unsound on non-deterministic manifests, §5)."""
+    case = CASES[name]
+    if case.deterministic:
+        return name
+    assert case.fixed_by is not None
+    return case.fixed_by

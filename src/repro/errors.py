@@ -1,0 +1,61 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PuppetSyntaxError(ReproError):
+    """Raised by the lexer or parser on malformed manifest source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PuppetEvalError(ReproError):
+    """Raised while evaluating a manifest to a catalog (bad attribute,
+    undefined variable, duplicate resource, unknown type, ...)."""
+
+
+class DependencyCycleError(PuppetEvalError):
+    """The resource graph contains a dependency cycle (Fig. 3b)."""
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        pretty = " -> ".join(str(n) for n in self.cycle)
+        super().__init__(f"dependency cycle: {pretty}")
+
+
+class ResourceModelError(ReproError):
+    """A resource cannot be compiled to an FS program (missing or
+    inconsistent attributes, unsupported type, ...)."""
+
+
+class UnsupportedResourceError(ResourceModelError):
+    """The resource type has no FS model (notably ``exec``, see paper §8)."""
+
+
+class PackageNotFoundError(ResourceModelError):
+    """The package database has no entry and synthesis is disabled."""
+
+
+class AnalysisBudgetExceeded(ReproError):
+    """The determinacy analysis exceeded its exploration or time budget.
+
+    Models the ten-minute timeout in the paper's Fig. 11 experiments.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0, branches: int = 0):
+        self.elapsed = elapsed
+        self.branches = branches
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """Internal failure of the SAT solving pipeline."""

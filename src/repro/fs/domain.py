@@ -1,0 +1,94 @@
+"""Bounding the domain of FS programs — paper Fig. 8.
+
+The logical encoding only tracks a finite set of paths.  For soundness
+*and completeness* that set must include, beyond the paths appearing in
+the program text:
+
+* the parent of every mentioned path (``mkdir(p/s)`` reads ``p``), and
+* one **fresh child** for every path that is removed (``rm``) or tested
+  for emptiness (``emptydir?``) — the state of unmentioned children is
+  observable through those operations (the paper's
+  ``emptydir?(/a) ≢ dir?(/a)`` example), so a witness child must exist
+  in the logical domain.
+
+``domain_of`` computes this closed set.  Fresh children use a reserved
+component name that cannot appear in user programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fs import syntax as fx
+from repro.fs.paths import Path
+
+FRESH_CHILD = "$fresh"
+"""Reserved component for witness children (not valid in manifests)."""
+
+
+def fresh_child_of(path: Path) -> Path:
+    return Path(path.parts + (FRESH_CHILD,))
+
+
+def is_fresh_witness(path: Path) -> bool:
+    return bool(path.parts) and path.parts[-1] == FRESH_CHILD
+
+
+def pred_domain(pred: fx.Pred) -> set[Path]:
+    """dom(a): mentioned paths, plus a fresh child for emptiness tests."""
+    out: set[Path] = set()
+    stack = [pred]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (fx.IsNone, fx.IsFile, fx.IsDir, fx.IsFileWith)):
+            out.add(cur.path)
+        elif isinstance(cur, fx.IsEmptyDir):
+            out.add(cur.path)
+            out.add(fresh_child_of(cur.path))
+        elif isinstance(cur, fx.PNot):
+            stack.append(cur.inner)
+        elif isinstance(cur, (fx.PAnd, fx.POr)):
+            stack.append(cur.left)
+            stack.append(cur.right)
+    return out
+
+
+def expr_domain(expr: fx.Expr) -> set[Path]:
+    """dom(e) per Fig. 8 (with parents of written paths included)."""
+    out: set[Path] = set()
+    stack = [expr]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (fx.Mkdir, fx.Creat)):
+            out.add(cur.path)
+            out.add(cur.path.parent())
+        elif isinstance(cur, fx.Rm):
+            out.add(cur.path)
+            out.add(fresh_child_of(cur.path))
+        elif isinstance(cur, fx.Cp):
+            out.add(cur.src)
+            out.add(cur.dst)
+            out.add(cur.dst.parent())
+        elif isinstance(cur, fx.Seq):
+            stack.append(cur.first)
+            stack.append(cur.second)
+        elif isinstance(cur, fx.If):
+            out.update(pred_domain(cur.pred))
+            stack.append(cur.then_branch)
+            stack.append(cur.else_branch)
+    return out
+
+
+def domain_of(exprs: Iterable[fx.Expr]) -> set[Path]:
+    """dom of a whole program (union over resources), root excluded.
+
+    Parents of every domain path are included as well so the encoder can
+    express the well-formedness of initial states.
+    """
+    out: set[Path] = set()
+    for e in exprs:
+        out.update(expr_domain(e))
+    for p in list(out):
+        out.update(a for a in p.ancestors() if not a.is_root)
+    out.discard(Path.root())
+    return out

@@ -1,0 +1,65 @@
+"""Pretty printer for FS expressions and predicates (paper-style notation)."""
+
+from __future__ import annotations
+
+from repro.fs import syntax as fx
+
+
+def pred_to_str(pred: fx.Pred) -> str:
+    if isinstance(pred, fx.PTrue):
+        return "true"
+    if isinstance(pred, fx.PFalse):
+        return "false"
+    if isinstance(pred, fx.IsNone):
+        return f"none?({pred.path})"
+    if isinstance(pred, fx.IsFile):
+        return f"file?({pred.path})"
+    if isinstance(pred, fx.IsDir):
+        return f"dir?({pred.path})"
+    if isinstance(pred, fx.IsEmptyDir):
+        return f"emptydir?({pred.path})"
+    if isinstance(pred, fx.IsFileWith):
+        return f"filecontains?({pred.path}, {pred.content!r})"
+    if isinstance(pred, fx.PNot):
+        return f"!{_pred_atom(pred.inner)}"
+    if isinstance(pred, fx.PAnd):
+        return f"{_pred_atom(pred.left)} && {_pred_atom(pred.right)}"
+    if isinstance(pred, fx.POr):
+        return f"{_pred_atom(pred.left)} || {_pred_atom(pred.right)}"
+    raise TypeError(f"unknown predicate: {pred!r}")
+
+
+def _pred_atom(pred: fx.Pred) -> str:
+    text = pred_to_str(pred)
+    if isinstance(pred, (fx.PAnd, fx.POr)):
+        return f"({text})"
+    return text
+
+
+def expr_to_str(expr: fx.Expr, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(expr, fx.Id):
+        return f"{pad}id"
+    if isinstance(expr, fx.Err):
+        return f"{pad}err"
+    if isinstance(expr, fx.Mkdir):
+        return f"{pad}mkdir({expr.path})"
+    if isinstance(expr, fx.Creat):
+        return f"{pad}creat({expr.path}, {expr.content!r})"
+    if isinstance(expr, fx.Rm):
+        return f"{pad}rm({expr.path})"
+    if isinstance(expr, fx.Cp):
+        return f"{pad}cp({expr.src}, {expr.dst})"
+    if isinstance(expr, fx.Seq):
+        return (
+            f"{expr_to_str(expr.first, indent)};\n"
+            f"{expr_to_str(expr.second, indent)}"
+        )
+    if isinstance(expr, fx.If):
+        head = f"{pad}if ({pred_to_str(expr.pred)})"
+        then_text = expr_to_str(expr.then_branch, indent + 1)
+        if isinstance(expr.else_branch, fx.Id):
+            return f"{head}\n{then_text}"
+        else_text = expr_to_str(expr.else_branch, indent + 1)
+        return f"{head}\n{then_text}\n{pad}else\n{else_text}"
+    raise TypeError(f"unknown expression: {expr!r}")

@@ -1,0 +1,129 @@
+"""Concrete (reference) semantics of FS programs — paper Fig. 5.
+
+``eval_pred`` implements ⟦a⟧ ∈ σ → bool and ``eval_expr`` implements
+⟦e⟧ ∈ σ → σ + err.  The error result is the singleton :data:`ERROR`.
+This evaluator is the ground truth that the logical encoding
+(:mod:`repro.smt.encoder`) is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.fs import syntax as fx
+from repro.fs.filesystem import DIR, FileContent, FileSystem
+
+
+class _ErrorState:
+    """The distinguished error state (⟦err⟧)."""
+
+    _instance: Optional["_ErrorState"] = None
+
+    def __new__(cls) -> "_ErrorState":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ERROR"
+
+
+ERROR = _ErrorState()
+
+Result = Union[FileSystem, _ErrorState]
+
+
+def is_error(result: Result) -> bool:
+    return result is ERROR
+
+
+def eval_pred(pred: fx.Pred, fs: FileSystem) -> bool:
+    """Evaluate a predicate on a concrete filesystem."""
+    if isinstance(pred, fx.PTrue):
+        return True
+    if isinstance(pred, fx.PFalse):
+        return False
+    if isinstance(pred, fx.IsNone):
+        return not fs.exists(pred.path)
+    if isinstance(pred, fx.IsFile):
+        return fs.is_file(pred.path)
+    if isinstance(pred, fx.IsDir):
+        return fs.is_dir(pred.path)
+    if isinstance(pred, fx.IsEmptyDir):
+        return fs.is_empty_dir(pred.path)
+    if isinstance(pred, fx.IsFileWith):
+        return fs.file_content(pred.path) == pred.content
+    if isinstance(pred, fx.PNot):
+        return not eval_pred(pred.inner, fs)
+    if isinstance(pred, fx.PAnd):
+        return eval_pred(pred.left, fs) and eval_pred(pred.right, fs)
+    if isinstance(pred, fx.POr):
+        return eval_pred(pred.left, fs) or eval_pred(pred.right, fs)
+    raise TypeError(f"unknown predicate: {pred!r}")
+
+
+def eval_expr(expr: fx.Expr, fs: FileSystem) -> Result:
+    """Evaluate an expression on a concrete filesystem.
+
+    Returns the resulting :class:`FileSystem` or :data:`ERROR`.
+    """
+    if isinstance(expr, fx.Id):
+        return fs
+    if isinstance(expr, fx.Err):
+        return ERROR
+    if isinstance(expr, fx.Mkdir):
+        path = expr.path
+        if path.is_root:
+            return ERROR
+        if fs.is_dir(path.parent()) and not fs.exists(path):
+            return fs.with_entry(path, DIR)
+        return ERROR
+    if isinstance(expr, fx.Creat):
+        path = expr.path
+        if path.is_root:
+            return ERROR
+        if fs.is_dir(path.parent()) and not fs.exists(path):
+            return fs.with_entry(path, FileContent(expr.content))
+        return ERROR
+    if isinstance(expr, fx.Rm):
+        path = expr.path
+        if fs.is_file(path) or fs.is_empty_dir(path):
+            if path.is_root:
+                return ERROR
+            return fs.without_entry(path)
+        return ERROR
+    if isinstance(expr, fx.Cp):
+        src_content = fs.file_content(expr.src)
+        dst = expr.dst
+        if (
+            src_content is not None
+            and not dst.is_root
+            and fs.is_dir(dst.parent())
+            and not fs.exists(dst)
+        ):
+            return fs.with_entry(dst, FileContent(src_content))
+        return ERROR
+    if isinstance(expr, fx.Seq):
+        intermediate = eval_expr(expr.first, fs)
+        if intermediate is ERROR:
+            return ERROR
+        assert isinstance(intermediate, FileSystem)
+        return eval_expr(expr.second, intermediate)
+    if isinstance(expr, fx.If):
+        branch = (
+            expr.then_branch
+            if eval_pred(expr.pred, fs)
+            else expr.else_branch
+        )
+        return eval_expr(branch, fs)
+    raise TypeError(f"unknown expression: {expr!r}")
+
+
+def equivalent_on(e1: fx.Expr, e2: fx.Expr, fs: FileSystem) -> bool:
+    """``⟦e1⟧σ = ⟦e2⟧σ`` for one concrete σ."""
+    return eval_expr(e1, fs) == eval_expr(e2, fs)
+
+
+def commute_on(e1: fx.Expr, e2: fx.Expr, fs: FileSystem) -> bool:
+    """``⟦e1;e2⟧σ = ⟦e2;e1⟧σ`` for one concrete σ."""
+    return equivalent_on(fx.seq(e1, e2), fx.seq(e2, e1), fs)

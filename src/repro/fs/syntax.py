@@ -1,0 +1,368 @@
+"""Abstract syntax of the FS language (paper Fig. 5).
+
+FS is a loop-free imperative language of filesystem operations.
+Expressions denote functions from filesystems to a filesystem or the
+error state; predicates denote boolean functions of the filesystem.
+
+Everything is an immutable, hashable dataclass, so expressions can be
+used as dictionary keys and shared freely.  Constructors are exposed
+both as classes (``Mkdir(p)``) and lowercase helpers matching the
+paper's notation (``mkdir(p)``, ``seq(...)``, ``ite(a, e1, e2)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.fs.paths import Path
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pred:
+    """Base class for FS predicates."""
+
+    def __and__(self, other: "Pred") -> "Pred":
+        return pand(self, other)
+
+    def __or__(self, other: "Pred") -> "Pred":
+        return por(self, other)
+
+    def __invert__(self) -> "Pred":
+        return pnot(self)
+
+
+@dataclass(frozen=True)
+class PTrue(Pred):
+    pass
+
+
+@dataclass(frozen=True)
+class PFalse(Pred):
+    pass
+
+
+@dataclass(frozen=True)
+class IsNone(Pred):
+    """``none?(p)`` — the path does not exist."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class IsFile(Pred):
+    """``file?(p)`` — the path is a regular file."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class IsDir(Pred):
+    """``dir?(p)`` — the path is a directory."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class IsEmptyDir(Pred):
+    """``emptydir?(p)`` — a directory with no children."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class IsFileWith(Pred):
+    """``filecontains?(p, s)`` — a regular file with exactly content ``s``.
+
+    Not in the paper's Fig. 5, but needed by resource models that only act
+    when a file already holds particular content (e.g. idempotent file
+    resources) and by the §5 invariant checker.  It preserves finiteness.
+    """
+
+    path: Path
+    content: str
+
+
+@dataclass(frozen=True)
+class PNot(Pred):
+    inner: Pred
+
+
+@dataclass(frozen=True)
+class PAnd(Pred):
+    left: Pred
+    right: Pred
+
+
+@dataclass(frozen=True)
+class POr(Pred):
+    left: Pred
+    right: Pred
+
+
+TRUE = PTrue()
+FALSE = PFalse()
+
+
+def pnot(a: Pred) -> Pred:
+    if isinstance(a, PTrue):
+        return FALSE
+    if isinstance(a, PFalse):
+        return TRUE
+    if isinstance(a, PNot):
+        return a.inner
+    return PNot(a)
+
+
+def pand(*preds: Pred) -> Pred:
+    acc: Pred = TRUE
+    for p in preds:
+        if isinstance(p, PFalse):
+            return FALSE
+        if isinstance(p, PTrue):
+            continue
+        acc = p if isinstance(acc, PTrue) else PAnd(acc, p)
+    return acc
+
+
+def por(*preds: Pred) -> Pred:
+    acc: Pred = FALSE
+    for p in preds:
+        if isinstance(p, PTrue):
+            return TRUE
+        if isinstance(p, PFalse):
+            continue
+        acc = p if isinstance(acc, PFalse) else POr(acc, p)
+    return acc
+
+
+def none_(p: Path) -> Pred:
+    return IsNone(p)
+
+
+def file_(p: Path) -> Pred:
+    return IsFile(p)
+
+
+def dir_(p: Path) -> Pred:
+    return IsDir(p)
+
+
+def emptydir_(p: Path) -> Pred:
+    return IsEmptyDir(p)
+
+
+def file_with(p: Path, content: str) -> Pred:
+    return IsFileWith(p, content)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for FS expressions."""
+
+    def then(self, other: "Expr") -> "Expr":
+        return seq(self, other)
+
+    def __rshift__(self, other: "Expr") -> "Expr":
+        return seq(self, other)
+
+
+@dataclass(frozen=True)
+class Id(Expr):
+    """``id`` — no-op."""
+
+
+@dataclass(frozen=True)
+class Err(Expr):
+    """``err`` — halt with error."""
+
+
+@dataclass(frozen=True)
+class Mkdir(Expr):
+    """``mkdir(p)`` — create a directory (parent must be a directory,
+    target must not exist)."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class Creat(Expr):
+    """``creat(p, str)`` — create a file with the given content."""
+
+    path: Path
+    content: str
+
+
+@dataclass(frozen=True)
+class Rm(Expr):
+    """``rm(p)`` — remove a file or an empty directory."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class Cp(Expr):
+    """``cp(src, dst)`` — copy a regular file to a fresh destination."""
+
+    src: Path
+    dst: Path
+
+
+@dataclass(frozen=True)
+class Seq(Expr):
+    """``e1; e2``."""
+
+    first: Expr
+    second: Expr
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """``if (a) e1 else e2``."""
+
+    pred: Pred
+    then_branch: Expr
+    else_branch: Expr
+
+
+ID = Id()
+ERR = Err()
+
+
+def mkdir(p: Union[Path, str]) -> Expr:
+    return Mkdir(_as_path(p))
+
+
+def creat(p: Union[Path, str], content: str) -> Expr:
+    return Creat(_as_path(p), content)
+
+
+def rm(p: Union[Path, str]) -> Expr:
+    return Rm(_as_path(p))
+
+
+def cp(src: Union[Path, str], dst: Union[Path, str]) -> Expr:
+    return Cp(_as_path(src), _as_path(dst))
+
+
+def seq(*exprs: Expr) -> Expr:
+    """Right-nested sequencing; drops ``id`` units and stops after ``err``."""
+    items = [e for e in exprs if not isinstance(e, Id)]
+    if not items:
+        return ID
+    out = items[-1]
+    for e in reversed(items[:-1]):
+        if isinstance(e, Err):
+            return ERR
+        out = Seq(e, out)
+    return out
+
+
+def ite(pred: Pred, then_branch: Expr, else_branch: Expr = ID) -> Expr:
+    """``if (a) e1 else e2``; the paper's shorthand defaults else to id."""
+    if isinstance(pred, PTrue):
+        return then_branch
+    if isinstance(pred, PFalse):
+        return else_branch
+    if then_branch == else_branch:
+        return then_branch
+    return If(pred, then_branch, else_branch)
+
+
+def _as_path(p: Union[Path, str]) -> Path:
+    return Path.of(p) if isinstance(p, str) else p
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def pred_paths(a: Pred) -> Iterator[Path]:
+    """Paths syntactically mentioned by a predicate."""
+    stack = [a]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (IsNone, IsFile, IsDir, IsEmptyDir, IsFileWith)):
+            yield cur.path
+        elif isinstance(cur, PNot):
+            stack.append(cur.inner)
+        elif isinstance(cur, (PAnd, POr)):
+            stack.append(cur.left)
+            stack.append(cur.right)
+
+
+def expr_paths(e: Expr) -> Iterator[Path]:
+    """Paths syntactically mentioned by an expression."""
+    stack = [e]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (Mkdir, Creat, Rm)):
+            yield cur.path
+        elif isinstance(cur, Cp):
+            yield cur.src
+            yield cur.dst
+        elif isinstance(cur, Seq):
+            stack.append(cur.first)
+            stack.append(cur.second)
+        elif isinstance(cur, If):
+            yield from pred_paths(cur.pred)
+            stack.append(cur.then_branch)
+            stack.append(cur.else_branch)
+
+
+def expr_contents(e: Expr) -> Iterator[str]:
+    """String literals written by an expression or tested by predicates."""
+    stack = [e]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, Creat):
+            yield cur.content
+        elif isinstance(cur, Seq):
+            stack.append(cur.first)
+            stack.append(cur.second)
+        elif isinstance(cur, If):
+            yield from _pred_contents(cur.pred)
+            stack.append(cur.then_branch)
+            stack.append(cur.else_branch)
+
+
+def _pred_contents(a: Pred) -> Iterator[str]:
+    stack = [a]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, IsFileWith):
+            yield cur.content
+        elif isinstance(cur, PNot):
+            stack.append(cur.inner)
+        elif isinstance(cur, (PAnd, POr)):
+            stack.append(cur.left)
+            stack.append(cur.right)
+
+
+def subexpressions(e: Expr) -> Iterator[Expr]:
+    """All subexpressions, root first."""
+    stack = [e]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        if isinstance(cur, Seq):
+            stack.append(cur.second)
+            stack.append(cur.first)
+        elif isinstance(cur, If):
+            stack.append(cur.else_branch)
+            stack.append(cur.then_branch)
+
+
+def expr_size(e: Expr) -> int:
+    """Number of AST nodes (predicates count as one node each)."""
+    return sum(1 for _ in subexpressions(e))

@@ -1,0 +1,142 @@
+"""Execution tracing: run an FS program step by step and record what
+happened — the diagnostic companion to the counterexamples the
+analyses produce ("*why* does this order fail on that machine?").
+
+A trace is a list of :class:`TraceStep` entries, one per primitive
+operation actually executed (conditionals record which branch was
+taken).  ``explain_order`` traces a whole resource sequence with
+per-resource boundaries, which the CLI/report layer renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.fs import syntax as fx
+from repro.fs.filesystem import FileSystem
+from repro.fs.pretty import expr_to_str, pred_to_str
+from repro.fs.semantics import ERROR, eval_expr, eval_pred
+
+
+@dataclass
+class TraceStep:
+    """One executed primitive operation (or taken branch)."""
+
+    description: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class Trace:
+    steps: List[TraceStep] = field(default_factory=list)
+    final: Optional[FileSystem] = None  # None = error
+
+    @property
+    def ok(self) -> bool:
+        return self.final is not None
+
+    def render(self) -> str:
+        lines = []
+        for step in self.steps:
+            mark = "ok " if step.ok else "ERR"
+            line = f"  [{mark}] {step.description}"
+            if step.detail:
+                line += f"  ({step.detail})"
+            lines.append(line)
+        lines.append(
+            "  => success" if self.ok else "  => execution failed here"
+        )
+        return "\n".join(lines)
+
+
+def trace_expr(expr: fx.Expr, fs: FileSystem) -> Trace:
+    """Execute ``expr`` on ``fs``, recording each primitive step."""
+    trace = Trace()
+    final = _run(expr, fs, trace)
+    trace.final = None if final is ERROR else final
+    return trace
+
+
+def _run(expr: fx.Expr, fs, trace: Trace):
+    if fs is ERROR:
+        return ERROR
+    if isinstance(expr, fx.Id):
+        return fs
+    if isinstance(expr, fx.Err):
+        trace.steps.append(TraceStep("err", ok=False))
+        return ERROR
+    if isinstance(expr, (fx.Mkdir, fx.Creat, fx.Rm, fx.Cp)):
+        out = eval_expr(expr, fs)
+        ok = out is not ERROR
+        detail = "" if ok else _failure_reason(expr, fs)
+        trace.steps.append(
+            TraceStep(expr_to_str(expr), ok=ok, detail=detail)
+        )
+        return out
+    if isinstance(expr, fx.Seq):
+        intermediate = _run(expr.first, fs, trace)
+        if intermediate is ERROR:
+            return ERROR
+        return _run(expr.second, intermediate, trace)
+    if isinstance(expr, fx.If):
+        taken = eval_pred(expr.pred, fs)
+        trace.steps.append(
+            TraceStep(
+                f"if ({pred_to_str(expr.pred)}) -> "
+                f"{'then' if taken else 'else'}",
+                ok=True,
+            )
+        )
+        branch = expr.then_branch if taken else expr.else_branch
+        return _run(branch, fs, trace)
+    raise TypeError(f"unknown expression: {expr!r}")
+
+
+def _failure_reason(expr: fx.Expr, fs: FileSystem) -> str:
+    """Human-readable precondition diagnosis for a failed primitive."""
+    if isinstance(expr, (fx.Mkdir, fx.Creat)):
+        parent = expr.path.parent()
+        if not fs.is_dir(parent):
+            return f"parent {parent} is not a directory"
+        if fs.exists(expr.path):
+            return f"{expr.path} already exists"
+        return "precondition failed"
+    if isinstance(expr, fx.Rm):
+        if not fs.exists(expr.path):
+            return f"{expr.path} does not exist"
+        if fs.is_dir(expr.path) and fs.has_children(expr.path):
+            return f"{expr.path} is a non-empty directory"
+        return "precondition failed"
+    if isinstance(expr, fx.Cp):
+        if not fs.is_file(expr.src):
+            return f"source {expr.src} is not a file"
+        if fs.exists(expr.dst):
+            return f"destination {expr.dst} already exists"
+        parent = expr.dst.parent()
+        if not fs.is_dir(parent):
+            return f"destination parent {parent} is not a directory"
+        return "precondition failed"
+    return ""
+
+
+def explain_order(
+    order: Sequence[Hashable],
+    programs: Dict[Hashable, fx.Expr],
+    fs: FileSystem,
+) -> str:
+    """Trace a full resource sequence, labeling each resource, and
+    stop at the first failure — the ``--explain`` narrative."""
+    lines: List[str] = []
+    current = fs
+    for node in order:
+        lines.append(f"{node}:")
+        trace = trace_expr(programs[node], current)
+        lines.append(trace.render())
+        if not trace.ok:
+            lines.append(f"{node} FAILED — remaining resources not applied")
+            return "\n".join(lines)
+        current = trace.final
+    lines.append("all resources applied successfully")
+    return "\n".join(lines)

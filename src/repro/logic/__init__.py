@@ -1,0 +1,16 @@
+"""Boolean logic substrate: hash-consed formulas and Tseitin CNF."""
+
+from repro.logic.cnf import CNF, tseitin
+from repro.logic.simplify import propagate_units, substitute
+from repro.logic.terms import Term, TermBank, dag_size, iter_dag
+
+__all__ = [
+    "CNF",
+    "Term",
+    "TermBank",
+    "dag_size",
+    "iter_dag",
+    "propagate_units",
+    "substitute",
+    "tseitin",
+]

@@ -1,0 +1,67 @@
+"""Light structural simplification of formula DAGs.
+
+The :class:`~repro.logic.terms.TermBank` already constant-folds during
+construction; this module adds a few rewrites used when formulas are
+assembled from pre-built pieces: unit propagation of top-level literals
+through a conjunction and substitution of variables by constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.logic.terms import Term, TermBank
+
+
+def substitute(
+    bank: TermBank, t: Term, bindings: Dict[str, bool]
+) -> Term:
+    """Replace variables by boolean constants, re-simplifying."""
+    memo: Dict[int, Term] = {}
+
+    def go(node: Term) -> Term:
+        cached = memo.get(node.uid)
+        if cached is not None:
+            return cached
+        if node.kind == "var":
+            if node.name in bindings:
+                out = bank.const(bindings[node.name])
+            else:
+                out = node
+        elif node.kind == "not":
+            out = bank.not_(go(node.args[0]))
+        elif node.kind == "and":
+            out = bank.and_(*[go(a) for a in node.args])
+        elif node.kind == "or":
+            out = bank.or_(*[go(a) for a in node.args])
+        else:
+            out = node
+        memo[node.uid] = out
+        return out
+
+    return go(t)
+
+
+def propagate_units(bank: TermBank, t: Term) -> Term:
+    """If ``t`` is a conjunction containing literals, substitute them
+    into the remaining conjuncts.  Helps shrink determinism queries
+    where many exactly-one constraints pin variables."""
+    if t.kind != "and":
+        return t
+    bindings: Dict[str, bool] = {}
+    rest = []
+    for arg in t.args:
+        if arg.kind == "var":
+            bindings[arg.name] = True
+        elif arg.kind == "not" and arg.args[0].kind == "var":
+            bindings[arg.args[0].name] = False
+        else:
+            rest.append(arg)
+    if not bindings:
+        return t
+    new_rest = [substitute(bank, r, bindings) for r in rest]
+    units = [
+        bank.var(name) if value else bank.not_(bank.var(name))
+        for name, value in bindings.items()
+    ]
+    return bank.and_(*(units + new_rest))

@@ -1,0 +1,27 @@
+"""The Puppet DSL frontend: lexer, parser, evaluator, catalog, graph."""
+
+from repro.puppet.catalog import Catalog, CatalogResource
+from repro.puppet.evaluator import (
+    DEFAULT_FACTS,
+    Evaluator,
+    evaluate_manifest,
+)
+from repro.puppet.graph import compile_catalog
+from repro.puppet.lexer import tokenize
+from repro.puppet.parser import parse_manifest
+from repro.puppet.values import RefValue, interpolate, to_display, truthy
+
+__all__ = [
+    "Catalog",
+    "CatalogResource",
+    "DEFAULT_FACTS",
+    "Evaluator",
+    "RefValue",
+    "compile_catalog",
+    "evaluate_manifest",
+    "interpolate",
+    "parse_manifest",
+    "to_display",
+    "tokenize",
+    "truthy",
+]

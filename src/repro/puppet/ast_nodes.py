@@ -1,0 +1,216 @@
+"""Abstract syntax tree for the Puppet DSL subset (paper Fig. 1 plus
+the §3.1 features: defines, classes, stages, collectors, virtual
+resources, conditionals, chaining arrows, defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """str | int | float | bool | None (undef)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class InterpolatedString(Expr):
+    """Raw payload of a double-quoted string; resolved at eval time."""
+
+    raw: str
+
+
+@dataclass(frozen=True)
+class VariableRef(Expr):
+    name: str  # may be qualified: ::top, nginx::port
+
+
+@dataclass(frozen=True)
+class ArrayLit(Expr):
+    items: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class HashLit(Expr):
+    entries: Tuple[Tuple[Expr, Expr], ...]
+
+
+@dataclass(frozen=True)
+class ResourceRefExpr(Expr):
+    """``File['/etc/motd']`` — possibly multiple titles."""
+
+    rtype: str
+    titles: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "!" | "-"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # == != < <= > >= + - * / % and or in
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Selector(Expr):
+    """``expr ? { match => value, ..., default => value }``"""
+
+    subject: Expr
+    cases: Tuple[Tuple[Optional[Expr], Expr], ...]  # None key = default
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Statement:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    name: str
+    value: Expr
+    add: bool = False  # +> (append) — parsed, treated as =>
+
+
+@dataclass(frozen=True)
+class ResourceBody:
+    title: Expr
+    attributes: Tuple[AttributeDef, ...]
+
+
+@dataclass(frozen=True)
+class ResourceDecl(Statement):
+    rtype: str = ""
+    bodies: Tuple[ResourceBody, ...] = ()
+    virtual: bool = False
+    exported: bool = False
+
+
+@dataclass(frozen=True)
+class ResourceDefault(Statement):
+    """``File { owner => root }`` — per-type attribute defaults."""
+
+    rtype: str = ""
+    attributes: Tuple[AttributeDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class ResourceOverride(Statement):
+    """``File['/f'] { mode => '0644' }`` — amend a declared resource."""
+
+    ref: ResourceRefExpr = None  # type: ignore[assignment]
+    attributes: Tuple[AttributeDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class DefineDecl(Statement):
+    name: str = ""
+    params: Tuple[Tuple[str, Optional[Expr]], ...] = ()
+    body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class ClassDecl(Statement):
+    name: str = ""
+    params: Tuple[Tuple[str, Optional[Expr]], ...] = ()
+    parent: Optional[str] = None
+    body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class NodeDecl(Statement):
+    names: Tuple[str, ...] = ()  # 'default' matches anything
+    body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class Assignment(Statement):
+    name: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    branches: Tuple[Tuple[Optional[Expr], Tuple[Statement, ...]], ...] = ()
+    # None condition = else branch
+
+
+@dataclass(frozen=True)
+class CaseStatement(Statement):
+    subject: Expr = None  # type: ignore[assignment]
+    cases: Tuple[Tuple[Tuple[Optional[Expr], ...], Tuple[Statement, ...]], ...] = ()
+    # A case option is a tuple of match expressions; (None,) = default.
+
+
+@dataclass(frozen=True)
+class IncludeStatement(Statement):
+    names: Tuple[str, ...] = ()
+    require_edges: bool = False  # the `require` function form
+
+
+@dataclass(frozen=True)
+class CollectorQuery:
+    """``<| attr == 'v' and ... |>`` — None means match-all."""
+
+    op: str = ""  # "==", "!=", "and", "or" or "" for match-all
+    attr: str = ""
+    value: Optional[Expr] = None
+    left: Optional["CollectorQuery"] = None
+    right: Optional["CollectorQuery"] = None
+
+
+@dataclass(frozen=True)
+class Collector(Statement):
+    rtype: str = ""
+    query: Optional[CollectorQuery] = None
+    overrides: Tuple[AttributeDef, ...] = ()
+    exported: bool = False
+
+
+ChainOperand = Union[ResourceRefExpr, Collector, ResourceDecl]
+
+
+@dataclass(frozen=True)
+class ChainStatement(Statement):
+    """``A -> B ~> C`` (arrows already normalized left-to-right)."""
+
+    operands: Tuple[ChainOperand, ...] = ()
+    arrows: Tuple[str, ...] = ()  # "->" or "~>" between operands
+
+
+@dataclass(frozen=True)
+class ExpressionStatement(Statement):
+    """Bare function call: fail(...), notice(...), realize(...)."""
+
+    expr: FunctionCall = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    statements: Tuple[Statement, ...]

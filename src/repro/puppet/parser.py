@@ -1,0 +1,587 @@
+"""Recursive-descent parser for the Puppet DSL subset.
+
+The grammar follows Fig. 1 of the paper extended with the features
+§3.1 relies on: user-defined types, classes (with parameters and
+inheritance), node blocks, conditionals, case statements, selectors,
+resource defaults and overrides, virtual resources and collectors,
+chaining arrows, and include/require.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import PuppetSyntaxError
+from repro.puppet import ast_nodes as ast
+from repro.puppet.lexer import tokenize
+from repro.puppet.tokens import Token, TokenKind as T
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _at(self, *kinds: T) -> bool:
+        return self._peek().kind in kinds
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: T, what: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            expected = what or kind.name
+            raise PuppetSyntaxError(
+                f"expected {expected}, found {tok.text!r}",
+                tok.line,
+                tok.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: T) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _error(self, message: str) -> PuppetSyntaxError:
+        tok = self._peek()
+        return PuppetSyntaxError(message, tok.line, tok.column)
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_manifest(self) -> ast.Manifest:
+        statements = []
+        while not self._at(T.EOF):
+            statements.append(self.parse_statement())
+        return ast.Manifest(tuple(statements))
+
+    def parse_statements_until(self, closer: T) -> Tuple[ast.Statement, ...]:
+        statements = []
+        while not self._at(closer):
+            if self._at(T.EOF):
+                raise self._error("unexpected end of input")
+            statements.append(self.parse_statement())
+        return tuple(statements)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        tok = self._peek()
+        if tok.kind is T.DEFINE:
+            return self._parse_define()
+        if tok.kind is T.CLASS:
+            if self._peek(1).kind is T.LBRACE:
+                # class { 'name': ... } — resource-style declaration.
+                return self._parse_resource_decl()
+            return self._parse_class()
+        if tok.kind is T.NODE:
+            return self._parse_node()
+        if tok.kind is T.IF:
+            return self._parse_if()
+        if tok.kind is T.UNLESS:
+            return self._parse_unless()
+        if tok.kind is T.CASE:
+            return self._parse_case()
+        if tok.kind is T.INCLUDE:
+            return self._parse_include(require_edges=False)
+        if tok.kind is T.REQUIRE_KW:
+            return self._parse_include(require_edges=True)
+        if tok.kind is T.VARIABLE:
+            return self._parse_assignment()
+        if tok.kind in (T.AT, T.ATAT):
+            return self._parse_resource_decl()
+        if tok.kind is T.NAME:
+            if self._peek(1).kind is T.LBRACE:
+                return self._parse_resource_decl()
+            if self._peek(1).kind is T.LPAREN:
+                return self._parse_call_statement()
+            raise self._error(f"unexpected bareword {tok.text!r}")
+        if tok.kind is T.TYPEREF:
+            return self._parse_typeref_statement()
+        raise self._error(f"unexpected token {tok.text!r}")
+
+    def _parse_define(self) -> ast.Statement:
+        start = self._expect(T.DEFINE)
+        name = self._expect(T.NAME, "definition name").text
+        params = self._parse_param_list()
+        self._expect(T.LBRACE)
+        body = self.parse_statements_until(T.RBRACE)
+        self._expect(T.RBRACE)
+        return ast.DefineDecl(
+            line=start.line, name=name, params=params, body=body
+        )
+
+    def _parse_class(self) -> ast.Statement:
+        start = self._expect(T.CLASS)
+        name = self._expect(T.NAME, "class name").text
+        params = self._parse_param_list()
+        parent = None
+        if self._accept(T.INHERITS):
+            parent = self._expect(T.NAME, "parent class name").text
+        self._expect(T.LBRACE)
+        body = self.parse_statements_until(T.RBRACE)
+        self._expect(T.RBRACE)
+        return ast.ClassDecl(
+            line=start.line, name=name, params=params, parent=parent, body=body
+        )
+
+    def _parse_param_list(
+        self,
+    ) -> Tuple[Tuple[str, Optional[ast.Expr]], ...]:
+        params: List[Tuple[str, Optional[ast.Expr]]] = []
+        if not self._accept(T.LPAREN):
+            return ()
+        while not self._at(T.RPAREN):
+            var = self._expect(T.VARIABLE, "parameter").text
+            default = None
+            if self._accept(T.ASSIGN):
+                default = self.parse_expression()
+            params.append((var, default))
+            if not self._accept(T.COMMA):
+                break
+        self._expect(T.RPAREN)
+        return tuple(params)
+
+    def _parse_node(self) -> ast.Statement:
+        start = self._expect(T.NODE)
+        names: List[str] = []
+        while True:
+            tok = self._peek()
+            if tok.kind in (T.STRING, T.DQSTRING, T.NAME):
+                names.append(self._advance().text)
+            elif tok.kind is T.DEFAULT:
+                self._advance()
+                names.append("default")
+            else:
+                raise self._error("expected node name")
+            if not self._accept(T.COMMA):
+                break
+        self._expect(T.LBRACE)
+        body = self.parse_statements_until(T.RBRACE)
+        self._expect(T.RBRACE)
+        return ast.NodeDecl(line=start.line, names=tuple(names), body=body)
+
+    def _parse_if(self) -> ast.Statement:
+        start = self._expect(T.IF)
+        branches = []
+        cond = self.parse_expression()
+        self._expect(T.LBRACE)
+        body = self.parse_statements_until(T.RBRACE)
+        self._expect(T.RBRACE)
+        branches.append((cond, body))
+        while self._at(T.ELSIF):
+            self._advance()
+            cond = self.parse_expression()
+            self._expect(T.LBRACE)
+            body = self.parse_statements_until(T.RBRACE)
+            self._expect(T.RBRACE)
+            branches.append((cond, body))
+        if self._accept(T.ELSE):
+            self._expect(T.LBRACE)
+            body = self.parse_statements_until(T.RBRACE)
+            self._expect(T.RBRACE)
+            branches.append((None, body))
+        return ast.IfStatement(line=start.line, branches=tuple(branches))
+
+    def _parse_unless(self) -> ast.Statement:
+        start = self._expect(T.UNLESS)
+        cond = self.parse_expression()
+        self._expect(T.LBRACE)
+        body = self.parse_statements_until(T.RBRACE)
+        self._expect(T.RBRACE)
+        else_body: Tuple[ast.Statement, ...] = ()
+        if self._accept(T.ELSE):
+            self._expect(T.LBRACE)
+            else_body = self.parse_statements_until(T.RBRACE)
+            self._expect(T.RBRACE)
+        negated = ast.UnaryOp("!", cond)
+        branches = [(negated, body)]
+        if else_body:
+            branches.append((None, else_body))
+        return ast.IfStatement(line=start.line, branches=tuple(branches))
+
+    def _parse_case(self) -> ast.Statement:
+        start = self._expect(T.CASE)
+        subject = self.parse_expression()
+        self._expect(T.LBRACE)
+        cases = []
+        while not self._at(T.RBRACE):
+            matches: List[Optional[ast.Expr]] = []
+            while True:
+                if self._accept(T.DEFAULT):
+                    matches.append(None)
+                else:
+                    matches.append(self.parse_expression())
+                if not self._accept(T.COMMA):
+                    break
+            self._expect(T.COLON)
+            self._expect(T.LBRACE)
+            body = self.parse_statements_until(T.RBRACE)
+            self._expect(T.RBRACE)
+            cases.append((tuple(matches), body))
+        self._expect(T.RBRACE)
+        return ast.CaseStatement(
+            line=start.line, subject=subject, cases=tuple(cases)
+        )
+
+    def _parse_include(self, require_edges: bool) -> ast.Statement:
+        start = self._advance()  # include / require
+        names = []
+        while True:
+            tok = self._peek()
+            if tok.kind in (T.NAME, T.STRING):
+                names.append(self._advance().text)
+            else:
+                raise self._error("expected class name to include")
+            if not self._accept(T.COMMA):
+                break
+        return ast.IncludeStatement(
+            line=start.line, names=tuple(names), require_edges=require_edges
+        )
+
+    def _parse_assignment(self) -> ast.Statement:
+        var = self._expect(T.VARIABLE)
+        self._expect(T.ASSIGN)
+        value = self.parse_expression()
+        return ast.Assignment(line=var.line, name=var.text, value=value)
+
+    def _parse_call_statement(self) -> ast.Statement:
+        name = self._expect(T.NAME)
+        self._expect(T.LPAREN)
+        args = []
+        while not self._at(T.RPAREN):
+            args.append(self.parse_expression())
+            if not self._accept(T.COMMA):
+                break
+        self._expect(T.RPAREN)
+        return ast.ExpressionStatement(
+            line=name.line,
+            expr=ast.FunctionCall(name.text, tuple(args)),
+        )
+
+    def _parse_resource_decl(self) -> ast.Statement:
+        virtual = False
+        exported = False
+        if self._accept(T.ATAT):
+            exported = True
+        elif self._accept(T.AT):
+            virtual = True
+        tok = self._peek()
+        if tok.kind is T.CLASS:
+            self._advance()
+            rtype = "class"
+        else:
+            rtype = self._expect(T.NAME, "resource type").text
+        self._expect(T.LBRACE)
+        bodies = [self._parse_resource_body()]
+        while self._accept(T.SEMI):
+            if self._at(T.RBRACE):
+                break
+            bodies.append(self._parse_resource_body())
+        self._expect(T.RBRACE)
+        return ast.ResourceDecl(
+            line=tok.line,
+            rtype=rtype,
+            bodies=tuple(bodies),
+            virtual=virtual,
+            exported=exported,
+        )
+
+    def _parse_resource_body(self) -> ast.ResourceBody:
+        title = self.parse_expression()
+        self._expect(T.COLON)
+        attributes = self._parse_attribute_list()
+        return ast.ResourceBody(title=title, attributes=attributes)
+
+    def _parse_attribute_list(self) -> Tuple[ast.AttributeDef, ...]:
+        attrs: List[ast.AttributeDef] = []
+        while self._at(T.NAME, T.STRING, T.UNLESS, T.IF, T.REQUIRE_KW, T.NODE):
+            # Attribute names may collide with keywords (require, ...).
+            name_tok = self._advance()
+            add = False
+            if self._accept(T.PARROW):
+                add = True
+            else:
+                self._expect(T.FARROW, "'=>'")
+            value = self.parse_expression()
+            attrs.append(ast.AttributeDef(name_tok.text, value, add))
+            if not self._accept(T.COMMA):
+                break
+        return tuple(attrs)
+
+    def _parse_typeref_statement(self) -> ast.Statement:
+        """Statements opening with a capitalized type reference:
+        defaults, overrides, collectors, and chains."""
+        checkpoint = self.pos
+        typeref = self._expect(T.TYPEREF)
+        rtype = typeref.text
+
+        if self._at(T.LBRACE):
+            # Resource default: File { ... }
+            self._advance()
+            attrs = self._parse_attribute_list()
+            self._expect(T.RBRACE)
+            return ast.ResourceDefault(
+                line=typeref.line, rtype=rtype, attributes=attrs
+            )
+
+        # Otherwise: reference or collector, possibly chained.
+        self.pos = checkpoint
+        first = self._parse_chain_operand()
+        if self._at(T.LBRACE) and isinstance(first, ast.ResourceRefExpr):
+            # Override: File['/f'] { ... }
+            self._advance()
+            attrs = self._parse_attribute_list()
+            self._expect(T.RBRACE)
+            return ast.ResourceOverride(
+                line=typeref.line, ref=first, attributes=attrs
+            )
+        operands: List[ast.ChainOperand] = [first]
+        arrows: List[str] = []
+        while self._at(
+            T.ARROW_RIGHT, T.NOTIFY_RIGHT, T.ARROW_LEFT, T.NOTIFY_LEFT
+        ):
+            arrow = self._advance()
+            operand = self._parse_chain_operand()
+            if arrow.kind in (T.ARROW_LEFT, T.NOTIFY_LEFT):
+                # A <- B means B -> A: flip in place.
+                operands.insert(0, operand)
+                arrows.insert(0, "->")
+            else:
+                operands.append(operand)
+                arrows.append("->" if arrow.kind is T.ARROW_RIGHT else "~>")
+        if len(operands) == 1:
+            if isinstance(first, ast.Collector):
+                return first
+            raise self._error(
+                "dangling resource reference (expected ->, ~>, or { ... })"
+            )
+        return ast.ChainStatement(
+            line=typeref.line, operands=tuple(operands), arrows=tuple(arrows)
+        )
+
+    def _parse_chain_operand(self) -> ast.ChainOperand:
+        tok = self._expect(T.TYPEREF)
+        rtype = tok.text
+        if self._at(T.LBRACK):
+            self._advance()
+            titles = [self.parse_expression()]
+            while self._accept(T.COMMA):
+                titles.append(self.parse_expression())
+            self._expect(T.RBRACK)
+            return ast.ResourceRefExpr(rtype, tuple(titles))
+        if self._at(T.COLLECT_OPEN):
+            return self._parse_collector(rtype, tok.line)
+        raise self._error("expected '[' or '<|' after type reference")
+
+    def _parse_collector(self, rtype: str, line: int) -> ast.Collector:
+        self._expect(T.COLLECT_OPEN)
+        query = None
+        if not self._at(T.COLLECT_CLOSE):
+            query = self._parse_collector_query()
+        self._expect(T.COLLECT_CLOSE)
+        overrides: Tuple[ast.AttributeDef, ...] = ()
+        if self._at(T.LBRACE):
+            self._advance()
+            overrides = self._parse_attribute_list()
+            self._expect(T.RBRACE)
+        return ast.Collector(
+            line=line, rtype=rtype, query=query, overrides=overrides
+        )
+
+    def _parse_collector_query(self) -> ast.CollectorQuery:
+        left = self._parse_collector_atom()
+        while self._at(T.AND, T.OR):
+            op = self._advance().text
+            right = self._parse_collector_atom()
+            left = ast.CollectorQuery(op=op, left=left, right=right)
+        return left
+
+    def _parse_collector_atom(self) -> ast.CollectorQuery:
+        if self._accept(T.LPAREN):
+            inner = self._parse_collector_query()
+            self._expect(T.RPAREN)
+            return inner
+        attr_tok = self._peek()
+        if attr_tok.kind not in (T.NAME, T.REQUIRE_KW):
+            raise self._error("expected attribute name in collector query")
+        self._advance()
+        op_tok = self._peek()
+        if op_tok.kind is T.EQ:
+            op = "=="
+        elif op_tok.kind is T.NEQ:
+            op = "!="
+        else:
+            raise self._error("expected == or != in collector query")
+        self._advance()
+        # Restricted expression: and/or belong to the query grammar,
+        # not the value.
+        value = self._parse_additive()
+        return ast.CollectorQuery(op=op, attr=attr_tok.text, value=value)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_selector()
+
+    def _parse_selector(self) -> ast.Expr:
+        subject = self._parse_or()
+        if not self._at(T.QUESTION):
+            return subject
+        self._advance()
+        self._expect(T.LBRACE)
+        cases: List[Tuple[Optional[ast.Expr], ast.Expr]] = []
+        while not self._at(T.RBRACE):
+            if self._accept(T.DEFAULT):
+                key: Optional[ast.Expr] = None
+            else:
+                key = self.parse_expression()
+            self._expect(T.FARROW, "'=>'")
+            value = self.parse_expression()
+            cases.append((key, value))
+            if not self._accept(T.COMMA):
+                break
+        self._expect(T.RBRACE)
+        return ast.Selector(subject, tuple(cases))
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(T.OR):
+            self._advance()
+            left = ast.BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self._at(T.AND):
+            self._advance()
+            left = ast.BinaryOp("and", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        ops = {
+            T.EQ: "==",
+            T.NEQ: "!=",
+            T.LT: "<",
+            T.GT: ">",
+            T.LTEQ: "<=",
+            T.GTEQ: ">=",
+            T.IN: "in",
+        }
+        while self._peek().kind in ops:
+            op = ops[self._advance().kind]
+            left = ast.BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._at(T.PLUS, T.MINUS):
+            op = self._advance().text
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._at(T.STAR, T.SLASH, T.PERCENT):
+            op = self._advance().text
+            left = ast.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept(T.MINUS):
+            return ast.UnaryOp("-", self._parse_unary())
+        if self._accept(T.BANG):
+            # Puppet's ! binds tightest: !$x == $y is (!$x) == $y.
+            return ast.UnaryOp("!", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is T.NUMBER:
+            self._advance()
+            value = float(tok.text) if "." in tok.text else int(tok.text)
+            return ast.Literal(value)
+        if tok.kind is T.STRING:
+            self._advance()
+            return ast.Literal(tok.text)
+        if tok.kind is T.DQSTRING:
+            self._advance()
+            return ast.InterpolatedString(tok.text)
+        if tok.kind is T.TRUE:
+            self._advance()
+            return ast.Literal(True)
+        if tok.kind is T.FALSE:
+            self._advance()
+            return ast.Literal(False)
+        if tok.kind is T.UNDEF:
+            self._advance()
+            return ast.Literal(None)
+        if tok.kind is T.VARIABLE:
+            self._advance()
+            return ast.VariableRef(tok.text)
+        if tok.kind is T.LBRACK:
+            self._advance()
+            items = []
+            while not self._at(T.RBRACK):
+                items.append(self.parse_expression())
+                if not self._accept(T.COMMA):
+                    break
+            self._expect(T.RBRACK)
+            return ast.ArrayLit(tuple(items))
+        if tok.kind is T.LBRACE:
+            self._advance()
+            entries = []
+            while not self._at(T.RBRACE):
+                key = self.parse_expression()
+                self._expect(T.FARROW, "'=>'")
+                entries.append((key, self.parse_expression()))
+                if not self._accept(T.COMMA):
+                    break
+            self._expect(T.RBRACE)
+            return ast.HashLit(tuple(entries))
+        if tok.kind is T.LPAREN:
+            self._advance()
+            inner = self.parse_expression()
+            self._expect(T.RPAREN)
+            return inner
+        if tok.kind is T.TYPEREF:
+            self._advance()
+            self._expect(T.LBRACK, "'[' in resource reference")
+            titles = [self.parse_expression()]
+            while self._accept(T.COMMA):
+                titles.append(self.parse_expression())
+            self._expect(T.RBRACK)
+            return ast.ResourceRefExpr(tok.text, tuple(titles))
+        if tok.kind is T.NAME:
+            if self._peek(1).kind is T.LPAREN:
+                self._advance()
+                self._advance()
+                args = []
+                while not self._at(T.RPAREN):
+                    args.append(self.parse_expression())
+                    if not self._accept(T.COMMA):
+                        break
+                self._expect(T.RPAREN)
+                return ast.FunctionCall(tok.text, tuple(args))
+            self._advance()
+            # Bare word used as a value (present, running, installed...).
+            return ast.Literal(tok.text)
+        if tok.kind is T.DEFAULT:
+            self._advance()
+            return ast.Literal("default")
+        raise self._error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_manifest(source: str) -> ast.Manifest:
+    return Parser(source).parse_manifest()

@@ -1,0 +1,225 @@
+"""Unparser: Puppet AST → manifest source.
+
+Used for diagnostics (showing the resource a verdict concerns in
+manifest syntax) and as the test oracle for the frontend: for every
+AST, ``parse(print(ast))`` must reproduce the AST exactly — a strong
+round-trip property exercised by Hypothesis in
+``tests/test_puppet_printer.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.puppet import ast_nodes as ast
+
+
+def print_manifest(manifest: ast.Manifest) -> str:
+    return "\n".join(print_statement(s) for s in manifest.statements)
+
+
+def print_statement(stmt: ast.Statement, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, ast.ResourceDecl):
+        prefix = "@@" if stmt.exported else ("@" if stmt.virtual else "")
+        bodies = ";\n".join(
+            _print_body(b, indent + 1) for b in stmt.bodies
+        )
+        rtype = "class" if stmt.rtype == "class" else stmt.rtype
+        return f"{pad}{prefix}{rtype} {{\n{bodies}\n{pad}}}"
+    if isinstance(stmt, ast.ResourceDefault):
+        attrs = _print_attrs(stmt.attributes, indent + 1)
+        return f"{pad}{stmt.rtype} {{\n{attrs}\n{pad}}}"
+    if isinstance(stmt, ast.ResourceOverride):
+        ref = print_expr(stmt.ref)
+        attrs = _print_attrs(stmt.attributes, indent + 1)
+        return f"{pad}{ref} {{\n{attrs}\n{pad}}}"
+    if isinstance(stmt, ast.DefineDecl):
+        params = _print_params(stmt.params)
+        body = _print_block(stmt.body, indent + 1)
+        return f"{pad}define {stmt.name}{params} {{\n{body}\n{pad}}}"
+    if isinstance(stmt, ast.ClassDecl):
+        params = _print_params(stmt.params)
+        inherits = f" inherits {stmt.parent}" if stmt.parent else ""
+        body = _print_block(stmt.body, indent + 1)
+        return (
+            f"{pad}class {stmt.name}{params}{inherits} {{\n{body}\n{pad}}}"
+        )
+    if isinstance(stmt, ast.NodeDecl):
+        names = ", ".join(
+            n if n == "default" else _quote(n) for n in stmt.names
+        )
+        body = _print_block(stmt.body, indent + 1)
+        return f"{pad}node {names} {{\n{body}\n{pad}}}"
+    if isinstance(stmt, ast.Assignment):
+        return f"{pad}${stmt.name} = {print_expr(stmt.value)}"
+    if isinstance(stmt, ast.IfStatement):
+        return _print_if(stmt, indent)
+    if isinstance(stmt, ast.CaseStatement):
+        return _print_case(stmt, indent)
+    if isinstance(stmt, ast.IncludeStatement):
+        keyword = "require" if stmt.require_edges else "include"
+        return f"{pad}{keyword} {', '.join(stmt.names)}"
+    if isinstance(stmt, ast.Collector):
+        return pad + _print_collector(stmt, indent)
+    if isinstance(stmt, ast.ChainStatement):
+        parts: List[str] = []
+        for i, operand in enumerate(stmt.operands):
+            if i:
+                parts.append(f" {stmt.arrows[i - 1]} ")
+            if isinstance(operand, ast.Collector):
+                parts.append(_print_collector(operand, indent))
+            else:
+                parts.append(print_expr(operand))
+        return pad + "".join(parts)
+    if isinstance(stmt, ast.ExpressionStatement):
+        return pad + print_expr(stmt.expr)
+    raise TypeError(f"cannot print statement: {stmt!r}")
+
+
+def _print_body(body: ast.ResourceBody, indent: int) -> str:
+    pad = "  " * indent
+    attrs = _print_attrs(body.attributes, indent + 1)
+    title = print_expr(body.title)
+    if attrs:
+        return f"{pad}{title}:\n{attrs}"
+    return f"{pad}{title}:"
+
+
+def _print_attrs(attrs, indent: int) -> str:
+    pad = "  " * indent
+    lines = []
+    for attr in attrs:
+        arrow = "+>" if attr.add else "=>"
+        lines.append(f"{pad}{attr.name} {arrow} {print_expr(attr.value)},")
+    return "\n".join(lines)
+
+
+def _print_params(params) -> str:
+    if not params:
+        return "()"
+    parts = []
+    for name, default in params:
+        if default is None:
+            parts.append(f"${name}")
+        else:
+            parts.append(f"${name} = {print_expr(default)}")
+    return "(" + ", ".join(parts) + ")"
+
+
+def _print_block(statements, indent: int) -> str:
+    if not statements:
+        return "  " * indent
+    return "\n".join(print_statement(s, indent) for s in statements)
+
+
+def _print_if(stmt: ast.IfStatement, indent: int) -> str:
+    pad = "  " * indent
+    parts = []
+    for i, (cond, body) in enumerate(stmt.branches):
+        block = _print_block(body, indent + 1)
+        if cond is None:
+            parts.append(f"else {{\n{block}\n{pad}}}")
+        elif i == 0:
+            parts.append(f"if {print_expr(cond)} {{\n{block}\n{pad}}}")
+        else:
+            parts.append(f"elsif {print_expr(cond)} {{\n{block}\n{pad}}}")
+    return pad + "\n".join(
+        p if i == 0 else pad + p for i, p in enumerate(parts)
+    )
+
+
+def _print_case(stmt: ast.CaseStatement, indent: int) -> str:
+    pad = "  " * indent
+    inner = "  " * (indent + 1)
+    lines = [f"{pad}case {print_expr(stmt.subject)} {{"]
+    for matches, body in stmt.cases:
+        keys = ", ".join(
+            "default" if m is None else print_expr(m) for m in matches
+        )
+        block = _print_block(body, indent + 2)
+        lines.append(f"{inner}{keys}: {{\n{block}\n{inner}}}")
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _print_collector(stmt: ast.Collector, indent: int) -> str:
+    query = _print_query(stmt.query) if stmt.query else ""
+    out = f"{stmt.rtype} <|{query}|>"
+    if stmt.overrides:
+        attrs = _print_attrs(stmt.overrides, indent + 1)
+        pad = "  " * indent
+        out += f" {{\n{attrs}\n{pad}}}"
+    return out
+
+
+def _print_query(q: ast.CollectorQuery) -> str:
+    if q.op in ("and", "or"):
+        return f"({_print_query(q.left)} {q.op} {_print_query(q.right)})"
+    return f" {q.attr} {q.op} {print_expr(q.value)} "
+
+
+def print_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return _print_literal(expr.value)
+    if isinstance(expr, ast.InterpolatedString):
+        escaped = expr.raw.replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(expr, ast.VariableRef):
+        return f"${expr.name}"
+    if isinstance(expr, ast.ArrayLit):
+        return "[" + ", ".join(print_expr(i) for i in expr.items) + "]"
+    if isinstance(expr, ast.HashLit):
+        entries = ", ".join(
+            f"{print_expr(k)} => {print_expr(v)}" for k, v in expr.entries
+        )
+        return "{ " + entries + " }"
+    if isinstance(expr, ast.ResourceRefExpr):
+        titles = ", ".join(print_expr(t) for t in expr.titles)
+        return f"{expr.rtype}[{titles}]"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{_atom(expr.operand)}"
+    if isinstance(expr, ast.BinaryOp):
+        return f"({_atom(expr.left)} {expr.op} {_atom(expr.right)})"
+    if isinstance(expr, ast.Selector):
+        cases = ", ".join(
+            ("default" if k is None else print_expr(k))
+            + f" => {print_expr(v)}"
+            for k, v in expr.cases
+        )
+        # Selectors bind loosest: parenthesize the whole form so it
+        # can appear as an operand, and the subject so selectors
+        # cannot chain.
+        return f"({_atom(expr.subject)} ? {{ {cases} }})"
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print expression: {expr!r}")
+
+
+def _atom(expr: ast.Expr) -> str:
+    """Print an expression, parenthesized when composite, so it can
+    safely appear as an operand regardless of precedence."""
+    text = print_expr(expr)
+    if isinstance(expr, (ast.UnaryOp, ast.BinaryOp, ast.Selector)):
+        if text.startswith("("):
+            return text
+        return f"({text})"
+    return text
+
+
+def _print_literal(value) -> str:
+    if value is None:
+        return "undef"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    return _quote(str(value))
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"

@@ -1,0 +1,84 @@
+"""Variable scoping for the Puppet evaluator.
+
+The model follows Puppet's modern scoping rules: a top scope, plus one
+local scope per class instance / define instance / node block.  Lookup
+is local → top (no dynamic scoping).  Qualified names reach other
+scopes explicitly: ``$::x`` is top scope, ``$nginx::port`` reads class
+``nginx``'s scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import PuppetEvalError
+from repro.puppet.values import Value
+
+
+class Scope:
+    def __init__(self, name: str, parent: Optional["Scope"] = None):
+        self.name = name
+        self.parent = parent
+        self._bindings: Dict[str, Value] = {}
+
+    def define(self, name: str, value: Value) -> None:
+        if name in self._bindings:
+            raise PuppetEvalError(
+                f"cannot reassign variable ${name} in scope {self.name!r} "
+                "(Puppet variables are single-assignment)"
+            )
+        self._bindings[name] = value
+
+    def lookup_local(self, name: str) -> Optional[Value]:
+        return self._bindings.get(name)
+
+    def has_local(self, name: str) -> bool:
+        return name in self._bindings
+
+    def lookup(self, name: str) -> Optional[Value]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope._bindings:
+                return scope._bindings[name]
+            scope = scope.parent
+        return None
+
+    def has(self, name: str) -> bool:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope._bindings:
+                return True
+            scope = scope.parent
+        return False
+
+
+class ScopeStack:
+    """Top scope plus named class scopes and a current-scope pointer."""
+
+    def __init__(self) -> None:
+        self.top = Scope("::")
+        self.class_scopes: Dict[str, Scope] = {}
+        self.current = self.top
+
+    def class_scope(self, class_name: str) -> Scope:
+        scope = self.class_scopes.get(class_name)
+        if scope is None:
+            scope = Scope(class_name, parent=self.top)
+            self.class_scopes[class_name] = scope
+        return scope
+
+    def resolve(self, name: str) -> Value:
+        """Resolve a possibly-qualified variable name; missing
+        variables resolve to undef (None) as in Puppet."""
+        if name.startswith("::"):
+            bare = name[2:]
+            if "::" in bare:
+                cls, _, var = bare.rpartition("::")
+                scope = self.class_scopes.get(cls)
+                return scope.lookup_local(var) if scope else None
+            return self.top.lookup_local(bare)
+        if "::" in name:
+            cls, _, var = name.rpartition("::")
+            scope = self.class_scopes.get(cls)
+            return scope.lookup_local(var) if scope else None
+        return self.current.lookup(name)

@@ -1,0 +1,111 @@
+"""Runtime values and string interpolation for the Puppet evaluator.
+
+Values are plain Python objects: ``str``, ``int``, ``float``, ``bool``,
+``None`` (undef), ``list``, ``dict``, and :class:`RefValue` for
+resource references.  Interpolation of double-quoted strings happens
+here, at evaluation time, because it needs variable scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Union
+
+from repro.errors import PuppetEvalError
+
+
+@dataclass(frozen=True)
+class RefValue:
+    """A resource reference value: ``File['/etc/motd']``."""
+
+    rtype: str
+    title: str
+
+    def __str__(self) -> str:
+        return f"{self.rtype.capitalize()}[{self.title!r}]"
+
+
+Value = Union[str, int, float, bool, None, list, dict, RefValue]
+
+
+def to_display(value: Value) -> str:
+    """Render a value the way Puppet interpolates it into strings."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, list):
+        return " ".join(to_display(v) for v in value)
+    return str(value)
+
+
+def truthy(value: Value) -> bool:
+    """Puppet truthiness: only false, undef, and '' are false.
+
+    (Puppet 4 makes '' truthy; we follow Puppet 3, which the paper's
+    corpus targets, where the empty string is false.)"""
+    if value is None or value is False:
+        return False
+    if value == "":
+        return False
+    return True
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    """Puppet ``==``: case-insensitive for strings."""
+    if isinstance(a, str) and isinstance(b, str):
+        return a.lower() == b.lower()
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == float(b)
+    return a == b
+
+
+def interpolate(raw: str, lookup: Callable[[str], Value]) -> str:
+    """Resolve ``$var`` and ``${var}`` inside a double-quoted string.
+
+    ``lookup`` resolves a (possibly qualified) variable name; unknown
+    variables interpolate as the empty string, matching Puppet's
+    (warning-laden) behaviour.  The lexer encodes a literal dollar as
+    ``\\$``.
+    """
+    out: List[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch == "\\" and i + 1 < n and raw[i + 1] == "$":
+            out.append("$")
+            i += 2
+            continue
+        if ch != "$":
+            out.append(ch)
+            i += 1
+            continue
+        # Interpolation start.
+        i += 1
+        if i < n and raw[i] == "{":
+            end = raw.find("}", i)
+            if end < 0:
+                raise PuppetEvalError(
+                    f"unterminated ${{...}} interpolation in {raw!r}"
+                )
+            name = raw[i + 1 : end].strip()
+            i = end + 1
+        else:
+            start = i
+            if i < n and raw[i : i + 2] == "::":
+                i += 2
+            while i < n and (raw[i].isalnum() or raw[i] == "_"):
+                i += 1
+                if raw[i : i + 2] == "::" and i + 2 < n and raw[i + 2].isalnum():
+                    i += 2
+            name = raw[start:i]
+        if not name:
+            out.append("$")
+            continue
+        out.append(to_display(lookup(name)))
+    return "".join(out)

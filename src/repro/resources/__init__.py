@@ -1,0 +1,38 @@
+"""Resource models: the compiler C : R → FS (§3.3) and the package
+database substrate."""
+
+from repro.resources.base import (
+    METAPARAMETERS,
+    Resource,
+    ResourceRef,
+    ensure_directory_tree,
+    guarded_mkdir,
+)
+from repro.resources.compiler import (
+    ModelContext,
+    ResourceCompiler,
+    compile_resource,
+)
+from repro.resources.package_db import (
+    MARKER_ROOT,
+    PackageDatabase,
+    PackageInfo,
+    default_database,
+    synthetic_package,
+)
+
+__all__ = [
+    "MARKER_ROOT",
+    "METAPARAMETERS",
+    "ModelContext",
+    "PackageDatabase",
+    "PackageInfo",
+    "Resource",
+    "ResourceCompiler",
+    "ResourceRef",
+    "compile_resource",
+    "default_database",
+    "ensure_directory_tree",
+    "guarded_mkdir",
+    "synthetic_package",
+]

@@ -1,0 +1,92 @@
+"""The resource compiler ``C : R → e`` (§3.3).
+
+Dispatches a primitive :class:`~repro.resources.base.Resource` to its
+type-specific FS model.  New resource types plug in via
+:meth:`ResourceCompiler.register` without touching the analyses — the
+rest of the toolchain only ever sees FS programs (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ResourceModelError
+from repro.fs import Expr
+from repro.resources.base import Resource
+from repro.resources.cron import compile_cron
+from repro.resources.file import compile_file
+from repro.resources.group import compile_group
+from repro.resources.host import compile_host
+from repro.resources.misc import compile_anchor, compile_exec, compile_notify
+from repro.resources.package import compile_package
+from repro.resources.package_db import PackageDatabase, default_database
+from repro.resources.service import compile_service
+from repro.resources.ssh_authorized_key import compile_ssh_authorized_key
+from repro.resources.user import compile_user
+
+ModelFn = Callable[[Resource, "ModelContext"], Expr]
+
+
+@dataclass
+class ModelContext:
+    """Ambient information resource models may need.
+
+    ``package_semantics`` selects when installed-state checks happen:
+    ``"direct"`` (default) checks at each resource's execution time;
+    ``"snapshot"`` mirrors Puppet's real behaviour of querying the
+    package manager once at the start of a run (see
+    :mod:`repro.resources.snapshot`) — required to reproduce the
+    Fig. 3c non-idempotence.
+    """
+
+    package_db: PackageDatabase = field(default_factory=default_database)
+    platform: str = "ubuntu"
+    package_semantics: str = "direct"
+
+
+_BUILTIN_MODELS: Dict[str, ModelFn] = {
+    "file": compile_file,
+    "package": compile_package,
+    "user": compile_user,
+    "group": compile_group,
+    "service": compile_service,
+    "ssh_authorized_key": compile_ssh_authorized_key,
+    "cron": compile_cron,
+    "host": compile_host,
+    "notify": compile_notify,
+    "anchor": compile_anchor,
+    "exec": compile_exec,
+}
+
+
+class ResourceCompiler:
+    """Compiles primitive resources to FS expressions."""
+
+    def __init__(self, context: Optional[ModelContext] = None):
+        self.context = context or ModelContext()
+        self._models: Dict[str, ModelFn] = dict(_BUILTIN_MODELS)
+
+    def register(self, rtype: str, model: ModelFn) -> None:
+        """Install or override the model for a resource type."""
+        self._models[rtype.lower()] = model
+
+    def supported_types(self) -> list[str]:
+        return sorted(self._models)
+
+    def compile(self, resource: Resource) -> Expr:
+        model = self._models.get(resource.rtype)
+        if model is None:
+            raise ResourceModelError(
+                f"{resource.ref}: no FS model for resource type "
+                f"{resource.rtype!r}; supported types are "
+                f"{', '.join(self.supported_types())}"
+            )
+        return model(resource, self.context)
+
+
+def compile_resource(
+    resource: Resource, context: Optional[ModelContext] = None
+) -> Expr:
+    """One-shot convenience wrapper around :class:`ResourceCompiler`."""
+    return ResourceCompiler(context).compile(resource)

@@ -1,0 +1,45 @@
+"""FS model for the ``cron`` resource type: one file per job under
+``/var/spool/cron/<user>/``, content derived from the schedule and
+command so that conflicting definitions of the same job collide."""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import Expr, ID, Path, creat, file_, file_with, ite, rm, seq
+from repro.resources.base import Resource, ensure_directory_tree
+
+CRON_ROOT = Path.of("/var/spool/cron")
+
+
+def job_path(user: str, title: str) -> Path:
+    return CRON_ROOT.child(user).child(title.replace("/", "_"))
+
+
+def compile_cron(resource: Resource, context) -> Expr:
+    user = resource.get_str("user") or "root"
+    ensure = (resource.get_str("ensure") or "present").lower()
+    command = resource.get_str("command")
+    path = job_path(user, resource.title)
+    if ensure == "present":
+        if command is None:
+            raise ResourceModelError(
+                f"{resource.ref}: the command attribute is required"
+            )
+        schedule = ":".join(
+            str(resource.get_str(k) or "*")
+            for k in ("minute", "hour", "monthday", "month", "weekday")
+        )
+        content = f"cron:{schedule}:{command}"
+        return seq(
+            ensure_directory_tree([path]),
+            ite(
+                file_with(path, content),
+                ID,
+                seq(ite(file_(path), rm(path), ID), creat(path, content)),
+            ),
+        )
+    if ensure == "absent":
+        return ite(file_(path), rm(path), ID)
+    raise ResourceModelError(
+        f"{resource.ref}: unsupported ensure => {ensure!r}"
+    )

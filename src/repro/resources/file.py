@@ -1,0 +1,137 @@
+"""FS model for the ``file`` resource type (§3.3 "Files and directories").
+
+Handles both files and directories: the ``ensure`` attribute selects
+among ``present``/``file``, ``directory``, and ``absent``; ``content``
+gives literal contents; ``source`` copies from another path; ``force``
+allows replacing a (empty) directory by a file and vice versa.
+
+Faithful to Puppet, a file resource does *not* create missing parent
+directories — that is exactly the mechanism behind the Fig. 3a
+non-determinism when the package dependency is omitted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import (
+    ERR,
+    ID,
+    Expr,
+    Path,
+    cp,
+    creat,
+    dir_,
+    emptydir_,
+    file_,
+    file_with,
+    ite,
+    mkdir,
+    none_,
+    rm,
+    seq,
+)
+from repro.resources.base import Resource
+
+_VALID_ENSURES = {"present", "file", "directory", "absent"}
+
+
+def compile_file(resource: Resource, context) -> Expr:
+    path = Path.of(resource.get_str("path") or resource.title)
+    ensure = (resource.get_str("ensure") or _implied_ensure(resource)).lower()
+    if ensure == "link":
+        raise ResourceModelError(
+            f"{resource.ref}: symlinks are not modeled (Puppet's model "
+            "hides platform-specific filesystem details, paper §7)"
+        )
+    if ensure not in _VALID_ENSURES:
+        raise ResourceModelError(
+            f"{resource.ref}: unsupported ensure => {ensure!r}"
+        )
+    content = resource.get_str("content")
+    source = resource.get_str("source")
+    force = resource.get_bool("force")
+    if ensure == "directory":
+        if content is not None:
+            raise ResourceModelError(
+                f"{resource.ref}: a directory cannot have content"
+            )
+        return _ensure_directory(path, force)
+    if ensure == "absent":
+        return _ensure_absent(path, force)
+    if content is not None and source is not None:
+        raise ResourceModelError(
+            f"{resource.ref}: content and source are mutually exclusive"
+        )
+    if source is not None:
+        return _ensure_file_from_source(path, Path.of(source), force)
+    if content is None:
+        # Puppet creates an empty file when neither is given.
+        content = ""
+    return _ensure_file_content(path, content, force)
+
+
+def _implied_ensure(resource: Resource) -> str:
+    """Puppet infers ensure from other attributes when omitted."""
+    if resource.get_str("content") is not None or resource.get_str("source"):
+        return "file"
+    return "present"
+
+
+def _ensure_file_content(path: Path, content: str, force: bool) -> Expr:
+    """Place a file with exactly ``content`` at ``path``.
+
+    The already-correct fast path (``filecontains?``) keeps the
+    resource idempotent and lets the definitive-write analysis
+    (Fig. 10b) classify the effect as ``file(content)``.
+    """
+    overwrite = seq(rm(path), creat(path, content))
+    on_dir = seq(rm(path), creat(path, content)) if force else ERR
+    return ite(
+        file_with(path, content),
+        ID,
+        ite(
+            file_(path),
+            overwrite,
+            ite(
+                none_(path),
+                creat(path, content),
+                # It is a directory: rm only succeeds if empty.
+                on_dir,
+            ),
+        ),
+    )
+
+
+def _ensure_file_from_source(path: Path, source: Path, force: bool) -> Expr:
+    """Copy ``source`` over ``path`` (Fig. 3d uses this)."""
+    replace = seq(rm(path), cp(source, path))
+    on_dir = replace if force else ERR
+    return ite(
+        none_(path),
+        cp(source, path),
+        ite(file_(path), replace, on_dir),
+    )
+
+
+def _ensure_directory(path: Path, force: bool) -> Expr:
+    on_file = seq(rm(path), mkdir(path)) if force else ERR
+    return ite(
+        dir_(path),
+        ID,
+        ite(none_(path), mkdir(path), on_file),
+    )
+
+
+def _ensure_absent(path: Path, force: bool) -> Expr:
+    """Remove a file or empty directory; a populated directory is an
+    error unless force purges it (not modeled — finite programs cannot
+    enumerate unknown children, so force-on-populated errs)."""
+    return ite(
+        none_(path),
+        ID,
+        ite(
+            file_(path),
+            rm(path),
+            ite(emptydir_(path), rm(path), ERR),
+        ),
+    )

@@ -1,0 +1,34 @@
+"""FS model for the ``group`` resource type: a record file under
+``/etc/groups`` with unique content, mirroring the user model."""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import Expr, ID, Path, creat, file_, ite, rm, seq
+from repro.resources.base import Resource, ensure_directory_tree
+
+GROUPS_ROOT = Path.of("/etc/groups")
+
+
+def group_path(name: str) -> Path:
+    return GROUPS_ROOT.child(name)
+
+
+def compile_group(resource: Resource, context) -> Expr:
+    name = resource.get_str("name") or resource.title
+    ensure = (resource.get_str("ensure") or "present").lower()
+    record = group_path(name)
+    if ensure == "present":
+        return ite(
+            file_(record),
+            ID,
+            seq(
+                ensure_directory_tree([record]),
+                creat(record, f"group:{name}"),
+            ),
+        )
+    if ensure == "absent":
+        return ite(file_(record), rm(record), ID)
+    raise ResourceModelError(
+        f"{resource.ref}: unsupported ensure => {ensure!r}"
+    )

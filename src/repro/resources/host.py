@@ -1,0 +1,37 @@
+"""FS model for the ``host`` resource type: one logical entry per
+hostname under ``/etc/hosts.d/`` (the paper's approach of modeling
+line-structured config files as disjoint filesystem regions)."""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import Expr, ID, Path, creat, file_, file_with, ite, rm, seq
+from repro.resources.base import Resource, ensure_directory_tree
+
+HOSTS_ROOT = Path.of("/etc/hosts.d")
+
+
+def entry_path(name: str) -> Path:
+    return HOSTS_ROOT.child(name)
+
+
+def compile_host(resource: Resource, context) -> Expr:
+    name = resource.get_str("name") or resource.title
+    ensure = (resource.get_str("ensure") or "present").lower()
+    path = entry_path(name)
+    if ensure == "present":
+        ip = resource.require_str("ip")
+        content = f"host:{name}:{ip}"
+        return seq(
+            ensure_directory_tree([path]),
+            ite(
+                file_with(path, content),
+                ID,
+                seq(ite(file_(path), rm(path), ID), creat(path, content)),
+            ),
+        )
+    if ensure == "absent":
+        return ite(file_(path), rm(path), ID)
+    raise ResourceModelError(
+        f"{resource.ref}: unsupported ensure => {ensure!r}"
+    )

@@ -1,0 +1,28 @@
+"""Models for trivial or rejected resource types.
+
+``notify`` only logs a message — a no-op on the filesystem.  ``exec``
+runs arbitrary shell, which has no tractable FS model; per §8 of the
+paper Rehearsal rejects manifests that use it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedResourceError
+from repro.fs import Expr, ID
+from repro.resources.base import Resource
+
+
+def compile_notify(resource: Resource, context) -> Expr:
+    return ID
+
+
+def compile_exec(resource: Resource, context) -> Expr:
+    raise UnsupportedResourceError(
+        f"{resource.ref}: exec resources run arbitrary shell commands and "
+        "cannot be modeled soundly (paper §8); remove or replace them"
+    )
+
+
+def compile_anchor(resource: Resource, context) -> Expr:
+    """The stdlib anchor pattern: pure ordering, no effect."""
+    return ID

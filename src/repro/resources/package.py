@@ -1,0 +1,110 @@
+"""FS model for the ``package`` resource type (§3.3 "Packages").
+
+A package is modeled from its file listing (via
+:class:`~repro.resources.package_db.PackageDatabase`): installation
+creates the directory tree with guarded mkdirs (the §4.3 idiom), then
+creates every file with a unique content, then an installed marker
+under ``/var/lib/pkg``.  Removal deletes files and the marker.
+
+Dependency behaviour mirrors apt (and reproduces Fig. 3c):
+
+* installing a package first installs its dependency closure;
+* removing a package first removes its reverse-dependency closure.
+
+Both actions are guarded on the marker, so an installed package's
+resource is a no-op — Puppet "checks which packages are installed
+before it issues any commands".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ResourceModelError
+from repro.fs import (
+    Expr,
+    ID,
+    Path,
+    creat,
+    file_,
+    ite,
+    pnot,
+    rm,
+    seq,
+)
+from repro.resources.base import Resource, ensure_directory_tree
+from repro.resources.package_db import MARKER_ROOT, PackageDatabase, PackageInfo
+
+_INSTALL_ENSURES = {"present", "installed", "latest", "held"}
+_REMOVE_ENSURES = {"absent", "purged"}
+
+
+def marker_path(name: str) -> Path:
+    return MARKER_ROOT.child(name)
+
+
+def file_content_for(pkg: str, path: Path) -> str:
+    """Every file in a package gets a unique content (§3.3): sound but
+    conservative — identical re-writes by other resources are reported
+    as conflicts, which the paper argues indicates a likely mistake."""
+    return f"pkg:{pkg}:{path}"
+
+
+def compile_package(resource: Resource, context) -> Expr:
+    name = resource.get_str("name") or resource.title
+    ensure = (resource.get_str("ensure") or "present").lower()
+    db: PackageDatabase = context.package_db
+    snapshot = getattr(context, "package_semantics", "direct") == "snapshot"
+    if ensure in _INSTALL_ENSURES:
+        if snapshot:
+            from repro.resources.snapshot import install_with_snapshot
+
+            return install_with_snapshot(db, name)
+        closure = db.install_closure(name)
+        return seq(*[_install_one(info) for info in closure])
+    if ensure in _REMOVE_ENSURES:
+        if snapshot:
+            from repro.resources.snapshot import remove_with_snapshot
+
+            return remove_with_snapshot(db, name)
+        dependents = db.reverse_dependents(name)
+        steps = [_remove_one(info) for info in dependents]
+        steps.append(_remove_one(db.lookup(name)))
+        return seq(*steps)
+    raise ResourceModelError(
+        f"{resource.ref}: unsupported ensure => {ensure!r}"
+    )
+
+
+def _install_tree(info: PackageInfo) -> Expr:
+    """Guarded mkdirs for the package's directory tree.  Ensured even
+    when the package is already installed: an installed package implies
+    its directories exist, which keeps manifests deterministic on
+    initial states where the marker is present but the tree is not (and
+    keeps the idempotent D-footprint of §4.3 for shared directories)."""
+    files = info.file_paths()
+    return ensure_directory_tree(files + [marker_path(info.name)])
+
+
+def _install_body(info: PackageInfo) -> Expr:
+    """Marker-guarded file creation (assumes the tree is ensured)."""
+    marker = marker_path(info.name)
+    files = info.file_paths()
+    body = seq(
+        *[creat(p, file_content_for(info.name, p)) for p in sorted(files)],
+        creat(marker, f"installed:{info.name}"),
+    )
+    return ite(file_(marker), ID, body)
+
+
+def _install_one(info: PackageInfo) -> Expr:
+    return seq(_install_tree(info), _install_body(info))
+
+
+def _remove_one(info: PackageInfo) -> Expr:
+    marker = marker_path(info.name)
+    steps: List[Expr] = []
+    for p in sorted(info.file_paths()):
+        steps.append(ite(file_(p), rm(p)))
+    steps.append(rm(marker))
+    return ite(file_(marker), seq(*steps), ID)

@@ -1,0 +1,67 @@
+"""FS model for the ``service`` resource type.
+
+A running service is modeled as a state file ``/var/run/services/<name>``
+whose content records the desired state.  Enabling a service (start on
+boot) is a separate link file under ``/etc/rc.d``.  Services interact
+with packages through their binaries: when the catalog knows which
+package provides the service, an explicit precondition on the binary
+would be redundant with the dependency edges Puppet requires anyway, so
+the model keeps services self-contained — bugs are still caught because
+config files and packages interact through real paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import Expr, ID, Path, creat, file_with, ite, file_, rm, seq
+from repro.resources.base import Resource, ensure_directory_tree
+
+SERVICE_STATE_ROOT = Path.of("/var/run/services")
+SERVICE_ENABLE_ROOT = Path.of("/etc/rc.d")
+
+
+def state_path(name: str) -> Path:
+    return SERVICE_STATE_ROOT.child(name)
+
+
+def enable_path(name: str) -> Path:
+    return SERVICE_ENABLE_ROOT.child(name)
+
+
+def compile_service(resource: Resource, context) -> Expr:
+    name = resource.get_str("name") or resource.title
+    ensure = (resource.get_str("ensure") or "running").lower()
+    if ensure in ("running", "true"):
+        desired = "running"
+    elif ensure in ("stopped", "false"):
+        desired = "stopped"
+    else:
+        raise ResourceModelError(
+            f"{resource.ref}: unsupported ensure => {ensure!r}"
+        )
+    steps = [_set_state_file(state_path(name), f"{desired}:{name}")]
+    if "enable" in resource.attributes:
+        if resource.get_bool("enable"):
+            steps.append(
+                _set_state_file(enable_path(name), f"enabled:{name}")
+            )
+        else:
+            steps.append(_clear_state_file(enable_path(name)))
+    return seq(*steps)
+
+
+def _set_state_file(path: Path, content: str) -> Expr:
+    """Idempotently force ``path`` to be a file with ``content``."""
+    return ite(
+        file_with(path, content),
+        ID,
+        seq(
+            ensure_directory_tree([path]),
+            ite(file_(path), rm(path), ID),
+            creat(path, content),
+        ),
+    )
+
+
+def _clear_state_file(path: Path) -> Expr:
+    return ite(file_(path), rm(path), ID)

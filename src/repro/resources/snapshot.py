@@ -1,0 +1,138 @@
+"""Snapshot semantics for package installed-state checks.
+
+Puppet "checks which packages are installed before it issues any
+commands" (§2, Fig. 3c discussion): the installed-state query happens
+once per run, not at each resource's execution time.  The default
+package model checks its marker at execution time, which is simpler
+and adequate for determinacy analysis — but it hides the paper's
+Fig. 3c *non-idempotence*: with per-resource checks, `remove perl ->
+install go` re-installs perl in the same run and the manifest
+converges; with a start-of-run snapshot, the second run removes both
+packages and the third reinstalls them — the manifest oscillates.
+
+FS has no variables, so the snapshot is materialized in the filesystem
+itself: a prelude program mirrors every package marker into a snapshot
+area ``/run/pkg-snapshot`` at the start of the run, and snapshot-mode
+package programs consult the snapshot instead of the live marker.  The
+pipeline (``Rehearsal``) injects the prelude as a resource every
+package depends on, so the compilation stays a plain resource graph.
+
+Enable with ``ModelContext(package_semantics="snapshot")``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.fs import (
+    Expr,
+    ID,
+    Path,
+    creat,
+    file_,
+    ite,
+    none_,
+    rm,
+    seq,
+)
+from repro.resources.base import ensure_directory_tree
+from repro.resources.package_db import PackageDatabase
+from repro.resources.package import (
+    _install_body,
+    _install_tree,
+    _remove_one,
+    marker_path,
+)
+
+SNAPSHOT_ROOT = Path.of("/run/pkg-snapshot")
+
+SNAPSHOT_PRELUDE_NODE = "PackageSnapshot[prelude]"
+"""Graph node id used for the injected prelude resource."""
+
+SNAPSHOT_EPILOGUE_NODE = "PackageSnapshot[epilogue]"
+"""Graph node id for the end-of-run cleanup: the snapshot is run-local
+bookkeeping (Puppet's query cache dies with the run), so it is cleared
+after every package resource has executed — otherwise the bookkeeping
+itself would register as state divergence in idempotence checks."""
+
+
+def snapshot_epilogue(names: Iterable[str]) -> Expr:
+    steps: List[Expr] = []
+    for name in sorted(set(names)):
+        snap = snapshot_path(name)
+        steps.append(ite(file_(snap), rm(snap), ID))
+    return seq(*steps)
+
+
+def snapshot_path(name: str) -> Path:
+    return SNAPSHOT_ROOT.child(name)
+
+
+def snapshot_prelude(names: Iterable[str]) -> Expr:
+    """Mirror each package's live marker into the snapshot area.
+
+    Idempotent by construction: re-running the prelude re-synchronizes
+    the snapshot with the live state, exactly like Puppet re-querying
+    dpkg/rpm at the start of each run.
+    """
+    steps: List[Expr] = [ensure_directory_tree([snapshot_path("x")])]
+    for name in sorted(set(names)):
+        marker = marker_path(name)
+        snap = snapshot_path(name)
+        steps.append(
+            ite(
+                file_(marker),
+                # A stray directory at the snapshot path is left alone
+                # (the guards test file-ness, so it reads as "not
+                # installed" consistently — the install step's own
+                # marker check then makes it a no-op).
+                ite(none_(snap), creat(snap, f"snap:{name}"), ID),
+                ite(file_(snap), rm(snap), ID),
+            )
+        )
+    return seq(*steps)
+
+
+def install_with_snapshot(db: PackageDatabase, name: str) -> Expr:
+    """Install closure, with each step guarded on the *snapshot*.
+
+    The directory tree is ensured unconditionally (same consistency
+    argument as the direct model: installed implies directories)."""
+    steps = []
+    for info in db.install_closure(name):
+        steps.append(_install_tree(info))
+        steps.append(
+            ite(
+                file_(snapshot_path(info.name)),
+                ID,
+                _install_body(info),
+            )
+        )
+    return seq(*steps)
+
+
+def remove_with_snapshot(db: PackageDatabase, name: str) -> Expr:
+    """Remove reverse-dependents then the package, guarded on the
+    snapshot."""
+    steps = []
+    infos = db.reverse_dependents(name) + [db.lookup(name)]
+    for info in infos:
+        steps.append(
+            ite(
+                file_(snapshot_path(info.name)),
+                _remove_one(info),
+                ID,
+            )
+        )
+    return seq(*steps)
+
+
+def packages_in_snapshot_scope(db: PackageDatabase, names: Iterable[str]) -> List[str]:
+    """Every package whose snapshot entry some resource may consult:
+    the install and reverse-dependency closures of the named ones."""
+    out: set[str] = set()
+    for name in names:
+        out.update(info.name for info in db.install_closure(name))
+        out.update(info.name for info in db.reverse_dependents(name))
+        out.add(name)
+    return sorted(out)

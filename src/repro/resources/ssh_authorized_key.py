@@ -1,0 +1,72 @@
+"""FS model for ``ssh_authorized_key`` (§3.3 "SSH keys").
+
+Each key is one logical line of a user's ``authorized_keys`` file.  Per
+the paper, keys are modeled in a disjoint filesystem region (one file
+per key under ``/etc/ssh_keys/<user>/``) *plus* a write to the real
+key-file path ``/home/<user>/.ssh/authorized_keys`` so that a ``file``
+resource clobbering the key-file is correctly flagged as
+non-commuting.  The key-file write is an idempotent "managed" marker:
+two keys of the same user agree on it (they commute), but a file
+resource with other content conflicts.
+
+The key-file lives under the user's home directory, so a missing
+``user`` dependency surfaces as an error — the real-world benchmark bug
+of §6.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import Expr, Path, creat, file_, file_with, ite, rm, seq, ID
+from repro.resources.base import Resource, guarded_mkdir
+from repro.resources.user import home_path
+
+KEYS_ROOT = Path.of("/etc/ssh_keys")
+
+
+def logical_key_path(user: str, title: str) -> Path:
+    safe_title = title.replace("/", "_")
+    return KEYS_ROOT.child(user).child(safe_title)
+
+
+def keyfile_path(user: str) -> Path:
+    return home_path(user).child(".ssh").child("authorized_keys")
+
+
+def keyfile_marker(user: str) -> str:
+    return f"ssh-managed:{user}"
+
+
+def compile_ssh_authorized_key(resource: Resource, context) -> Expr:
+    user = resource.get_str("user")
+    if user is None:
+        raise ResourceModelError(
+            f"{resource.ref}: the user attribute is required"
+        )
+    ensure = (resource.get_str("ensure") or "present").lower()
+    key = resource.get_str("key") or resource.title
+    logical = logical_key_path(user, resource.title)
+    keyfile = keyfile_path(user)
+    if ensure == "present":
+        return seq(
+            # Logical entry: unique per key, so distinct keys coexist.
+            guarded_mkdir(KEYS_ROOT),
+            guarded_mkdir(KEYS_ROOT.child(user)),
+            _set_unless_present(logical, f"key:{user}:{resource.title}:{key}"),
+            # Real key-file: requires the home directory (user resource).
+            guarded_mkdir(home_path(user).child(".ssh")),
+            _set_unless_present(keyfile, keyfile_marker(user)),
+        )
+    if ensure == "absent":
+        return ite(file_(logical), rm(logical), ID)
+    raise ResourceModelError(
+        f"{resource.ref}: unsupported ensure => {ensure!r}"
+    )
+
+
+def _set_unless_present(path: Path, content: str) -> Expr:
+    return ite(
+        file_with(path, content),
+        ID,
+        seq(ite(file_(path), rm(path), ID), creat(path, content)),
+    )

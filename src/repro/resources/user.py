@@ -1,0 +1,71 @@
+"""FS model for the ``user`` resource type (§3.3 "Other resource types").
+
+A user account is a record in the account database, modeled as a file
+``/etc/users/<name>`` with unique content.  ``managehome => true``
+additionally creates ``/home/<name>`` — the paper notes "a user account
+may need the /home directory to be present", and the benchmark suite
+contains a real bug where ssh keys lacked a dependency on the user
+that creates the home directory.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fs import (
+    ERR,
+    Expr,
+    ID,
+    Path,
+    creat,
+    emptydir_,
+    file_,
+    ite,
+    mkdir,
+    none_,
+    rm,
+    seq,
+)
+from repro.resources.base import Resource, ensure_directory_tree, guarded_mkdir
+
+USERS_ROOT = Path.of("/etc/users")
+HOME_ROOT = Path.of("/home")
+
+
+def account_path(name: str) -> Path:
+    return USERS_ROOT.child(name)
+
+
+def home_path(name: str) -> Path:
+    return HOME_ROOT.child(name)
+
+
+def compile_user(resource: Resource, context) -> Expr:
+    name = resource.get_str("name") or resource.title
+    ensure = (resource.get_str("ensure") or "present").lower()
+    managehome = resource.get_bool("managehome")
+    account = account_path(name)
+    home = home_path(name)
+    if ensure == "present":
+        steps = [
+            ensure_directory_tree([account]),
+            ite(file_(account), ID, creat(account, f"user:{name}")),
+        ]
+        if managehome:
+            # Ensured unconditionally: an existing account with
+            # managehome implies the home directory exists (same
+            # consistency argument as the package model).
+            steps.append(ensure_directory_tree([home]))
+            steps.append(guarded_mkdir(home))
+        return seq(*steps)
+    if ensure == "absent":
+        remove_home = (
+            ite(emptydir_(home), rm(home)) if managehome else ID
+        )
+        return ite(
+            file_(account),
+            seq(rm(account), remove_home),
+            ID,
+        )
+    raise ResourceModelError(
+        f"{resource.ref}: unsupported ensure => {ensure!r}"
+    )

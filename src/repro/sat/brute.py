@@ -1,0 +1,49 @@
+"""Brute-force reference SAT solver (testing oracle only).
+
+Enumerates all assignments; exponential, so only usable for tiny
+instances — exactly what the property tests need to validate the CDCL
+solver against.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional, Sequence
+
+
+def brute_force_solve(
+    clauses: Sequence[Sequence[int]], num_vars: int
+) -> Optional[Dict[int, bool]]:
+    """Return a satisfying assignment, or None if UNSAT."""
+    if num_vars > 22:
+        raise ValueError("brute force limited to 22 variables")
+    for bits in product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(_clause_sat(clause, assignment) for clause in clauses):
+            return assignment
+    return None
+
+
+def count_models(clauses: Sequence[Sequence[int]], num_vars: int) -> int:
+    """Number of satisfying assignments (testing aid)."""
+    if num_vars > 22:
+        raise ValueError("brute force limited to 22 variables")
+    total = 0
+    for bits in product([False, True], repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(_clause_sat(clause, assignment) for clause in clauses):
+            total += 1
+    return total
+
+
+def _clause_sat(clause: Sequence[int], assignment: Dict[int, bool]) -> bool:
+    return any(
+        assignment[abs(lit)] == (lit > 0) for lit in clause
+    )
+
+
+def check_assignment(
+    clauses: Sequence[Sequence[int]], assignment: Dict[int, bool]
+) -> bool:
+    """Verify that an assignment satisfies every clause."""
+    return all(_clause_sat(clause, assignment) for clause in clauses)

@@ -1,0 +1,429 @@
+"""A CDCL SAT solver.
+
+This replaces the Z3 backend of the original Rehearsal artifact.  The
+determinacy formulas are propositional after finite-domain encoding
+(see DESIGN.md), so a complete SAT solver decides exactly the same
+queries.
+
+Features: two-watched-literal propagation, first-UIP conflict-clause
+learning with recursive minimization, EVSIDS branching, phase saving,
+Luby restarts, and LBD-based learned-clause deletion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SolverError
+
+UNDEF = 0
+TRUE = 1
+FALSE = -1
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solver run."""
+
+    sat: bool
+    assignment: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+
+class Solver:
+    """CDCL solver over integer literals (DIMACS convention)."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._learned: List[List[int]] = []
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._assign: List[int] = [UNDEF]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[List[int]]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        if num_vars:
+            self.ensure_vars(num_vars)
+
+    # -- clause database ----------------------------------------------------
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.num_vars += 1
+            self._assign.append(UNDEF)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._watches[self.num_vars] = []
+            self._watches[-self.num_vars] = []
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a problem clause; duplicate literals removed, tautologies
+        dropped.  Empty clause makes the instance trivially UNSAT."""
+        if not self._ok:
+            return
+        seen: set[int] = set()
+        clause: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise SolverError("literal 0 is not allowed")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+            return
+        self._clauses.append(clause)
+        self._watch(clause)
+
+    def _watch(self, clause: List[int]) -> None:
+        self._watches[-clause[0]].append(clause)
+        self._watches[-clause[1]].append(clause)
+
+    # -- assignment helpers ---------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        if v == UNDEF:
+            return UNDEF
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        val = self._value(lit)
+        if val == FALSE:
+            return False
+        if val == TRUE:
+            return True
+        var = abs(lit)
+        self._assign[var] = TRUE if lit > 0 else FALSE
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # -- propagation ----------------------------------------------------------
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            watchers = self._watches[lit]
+            self._watches[lit] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                # Normalize: watched literals are clause[0], clause[1].
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == TRUE:
+                    self._watches[lit].append(clause)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[-clause[1]].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                self._watches[lit].append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers first.
+                    self._watches[lit].extend(watchers[i:])
+                    return clause
+        return None
+
+    # -- conflict analysis -------------------------------------------------------
+
+    def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        reason: Optional[List[int]] = conflict
+        index = len(self._trail)
+        cur_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            for q in reason:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick the next literal to expand from the trail.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            reason = self._reason[abs(lit)]
+            seen[abs(lit)] = False
+
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted(
+            (self._level[abs(q)] for q in learned[1:]), reverse=True
+        )
+        # Move the second-watch literal into position 1.
+        best = max(range(1, len(learned)), key=lambda i: self._level[abs(learned[i])])
+        learned[1], learned[best] = learned[best], learned[1]
+        return learned, levels[0]
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        """Remove literals implied by the rest of the clause (recursive
+        clause minimization, memoized — Tseitin reasons can be very
+        wide, so the naive recursion is exponential)."""
+        memo: Dict[int, bool] = {}
+        kept = [learned[0]]
+        for q in learned[1:]:
+            if not self._redundant(q, seen, memo, depth=0):
+                kept.append(q)
+        return kept
+
+    def _redundant(
+        self, lit: int, seen: List[bool], memo: Dict[int, bool], depth: int
+    ) -> bool:
+        var = abs(lit)
+        cached = memo.get(var)
+        if cached is not None:
+            return cached
+        if depth > 24:
+            return False
+        reason = self._reason[var]
+        if reason is None:
+            memo[var] = False
+            return False
+        result = True
+        for q in reason:
+            if abs(q) == var:
+                continue
+            qvar = abs(q)
+            if self._level[qvar] == 0 or seen[qvar]:
+                continue
+            if not self._redundant(q, seen, memo, depth + 1):
+                result = False
+                break
+        memo[var] = result
+        return result
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    # -- backtracking ---------------------------------------------------------
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._phase[var] = self._assign[var] == TRUE
+            self._assign[var] = UNDEF
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # -- branching --------------------------------------------------------------
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == UNDEF and self._activity[var] > best_act:
+                best_act = self._activity[var]
+                best_var = var
+        if best_var == 0:
+            return 0
+        return best_var if self._phase[best_var] else -best_var
+
+    # -- main loop ---------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> SolveResult:
+        """Decide satisfiability.  ``assumptions`` are temporary unit
+        literals (the solver state is reset before and after)."""
+        self._backtrack(0)
+        if not self._ok:
+            return self._result(False)
+        if self._propagate() is not None:
+            self._ok = False
+            return self._result(False)
+
+        # Apply assumptions as level-1+ decisions.
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+            if self._value(lit) == TRUE:
+                continue
+            if self._value(lit) == FALSE:
+                self._backtrack(0)
+                return self._result(False)
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+            if self._propagate() is not None:
+                self._backtrack(0)
+                return self._result(False)
+        base_level = self._decision_level()
+
+        restart_unit = 64
+        luby_index = 1
+        conflicts_until_restart = restart_unit * _luby(luby_index)
+        max_learned = max(1000, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_until_restart -= 1
+                if self._decision_level() <= base_level:
+                    self._backtrack(0)
+                    return self._result(False)
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(max(back_level, base_level))
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._backtrack(0)
+                        return self._result(False)
+                else:
+                    self._learned.append(learned)
+                    self._watch(learned)
+                    self._enqueue(learned[0], learned)
+                self._decay()
+                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                    raise SolverError("conflict budget exhausted")
+                if len(self._learned) > max_learned:
+                    self._reduce_learned()
+                    max_learned = int(max_learned * 1.3)
+                continue
+
+            if conflicts_until_restart <= 0 and self._decision_level() > base_level:
+                self.restarts += 1
+                luby_index += 1
+                conflicts_until_restart = restart_unit * _luby(luby_index)
+                self._backtrack(base_level)
+                continue
+
+            lit = self._pick_branch()
+            if lit == 0:
+                result = self._result(True)
+                self._backtrack(0)
+                return result
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def _reduce_learned(self) -> None:
+        """Drop the less active half of learned clauses (keeping those
+        currently used as reasons)."""
+        reasons = {id(r) for r in self._reason if r is not None}
+        self._learned.sort(key=len)
+        keep = self._learned[: len(self._learned) // 2]
+        drop = self._learned[len(self._learned) // 2 :]
+        kept_drop = [c for c in drop if id(c) in reasons or len(c) <= 2]
+        removed = {id(c) for c in drop if id(c) not in reasons and len(c) > 2}
+        self._learned = keep + kept_drop
+        for lit in list(self._watches):
+            self._watches[lit] = [
+                c for c in self._watches[lit] if id(c) not in removed
+            ]
+
+    def _result(self, sat: bool) -> SolveResult:
+        assignment: Dict[int, bool] = {}
+        if sat:
+            assignment = {
+                var: self._assign[var] == TRUE
+                for var in range(1, self.num_vars + 1)
+                if self._assign[var] != UNDEF
+            }
+        return SolveResult(
+            sat=sat,
+            assignment=assignment,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+            restarts=self.restarts,
+        )
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
+
+    If i = 2^k - 1 the value is 2^(k-1); otherwise recurse on
+    i - 2^(k-1) + 1 where 2^(k-1) ≤ i < 2^k - 1.
+    """
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+def solve_cnf(
+    clauses: Sequence[Sequence[int]], num_vars: int = 0
+) -> SolveResult:
+    """One-shot convenience wrapper."""
+    solver = Solver(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()

@@ -1,0 +1,55 @@
+"""Finite-domain symbolic execution of FS programs (the paper's Fig. 7
+encoding) plus SAT-query plumbing and model decoding."""
+
+from repro.smt.encoder import apply_expr, encode_pred
+from repro.smt.model import decode_filesystem, describe_filesystem
+from repro.smt.query import Query, check_sat
+from repro.smt.state import (
+    SymbolicState,
+    assignment_for_fs,
+    concrete_state,
+    initial_constraints,
+    initial_state,
+    states_differ,
+)
+from repro.smt.values import (
+    GENERIC_CONTENTS,
+    OMEGA_1,
+    OMEGA_2,
+    DomainValue,
+    PathDomains,
+    SymbolicValue,
+    V_DIR,
+    V_DNE,
+    VDir,
+    VDne,
+    VFile,
+    initial_var_name,
+)
+
+__all__ = [
+    "DomainValue",
+    "GENERIC_CONTENTS",
+    "OMEGA_1",
+    "OMEGA_2",
+    "PathDomains",
+    "Query",
+    "SymbolicState",
+    "SymbolicValue",
+    "V_DIR",
+    "V_DNE",
+    "VDir",
+    "VDne",
+    "VFile",
+    "apply_expr",
+    "assignment_for_fs",
+    "check_sat",
+    "concrete_state",
+    "decode_filesystem",
+    "describe_filesystem",
+    "encode_pred",
+    "initial_constraints",
+    "initial_state",
+    "initial_var_name",
+    "states_differ",
+]

@@ -1,0 +1,156 @@
+"""Symbolic execution of FS programs into boolean formulas (Fig. 7).
+
+``apply_expr`` implements the combination of the paper's ``ok(e)`` and
+``f(e)``: it threads a :class:`SymbolicState` through an expression,
+conjoining error conditions into ``Σ.ok`` and functionally updating
+``Σ.fs``.  Conditionals join both branches with if-then-else at every
+touched path, so the result is a *single* state per expression — FS
+expressions denote functions (§5), only resource graphs denote
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fs import syntax as fx
+from repro.fs.paths import Path
+from repro.logic.terms import Term, TermBank
+from repro.smt.state import SymbolicState
+from repro.smt.values import SymbolicValue, V_DIR, V_DNE, VFile
+
+
+def encode_pred(
+    bank: TermBank, state: SymbolicState, pred: fx.Pred
+) -> Term:
+    """encPred(σ̂, a): the predicate as a formula over the state."""
+    if isinstance(pred, fx.PTrue):
+        return bank.TRUE
+    if isinstance(pred, fx.PFalse):
+        return bank.FALSE
+    if isinstance(pred, fx.IsNone):
+        return _value(state, pred.path).is_dne(bank)
+    if isinstance(pred, fx.IsFile):
+        return _value(state, pred.path).is_file(bank)
+    if isinstance(pred, fx.IsDir):
+        return _is_dir(bank, state, pred.path)
+    if isinstance(pred, fx.IsEmptyDir):
+        return bank.and_(
+            _is_dir(bank, state, pred.path),
+            _children_absent(bank, state, pred.path),
+        )
+    if isinstance(pred, fx.IsFileWith):
+        return _value(state, pred.path).has_content(bank, pred.content)
+    if isinstance(pred, fx.PNot):
+        return bank.not_(encode_pred(bank, state, pred.inner))
+    if isinstance(pred, fx.PAnd):
+        return bank.and_(
+            encode_pred(bank, state, pred.left),
+            encode_pred(bank, state, pred.right),
+        )
+    if isinstance(pred, fx.POr):
+        return bank.or_(
+            encode_pred(bank, state, pred.left),
+            encode_pred(bank, state, pred.right),
+        )
+    raise TypeError(f"unknown predicate: {pred!r}")
+
+
+def apply_expr(
+    bank: TermBank, state: SymbolicState, expr: fx.Expr
+) -> SymbolicState:
+    """Φ(e)⟨ok, fs⟩ = ⟨ok ∧ ok(e)fs, f(e)fs⟩."""
+    if isinstance(expr, fx.Id):
+        return state
+    if isinstance(expr, fx.Err):
+        return state.with_ok(bank.FALSE)
+    if isinstance(expr, fx.Mkdir):
+        pre = bank.and_(
+            _is_dir(bank, state, expr.path.parent()),
+            _value(state, expr.path).is_dne(bank),
+        )
+        return state.with_ok(bank.and_(state.ok, pre)).update(
+            expr.path, SymbolicValue.const(bank, V_DIR)
+        )
+    if isinstance(expr, fx.Creat):
+        pre = bank.and_(
+            _is_dir(bank, state, expr.path.parent()),
+            _value(state, expr.path).is_dne(bank),
+        )
+        return state.with_ok(bank.and_(state.ok, pre)).update(
+            expr.path, SymbolicValue.const(bank, VFile(expr.content))
+        )
+    if isinstance(expr, fx.Rm):
+        value = _value(state, expr.path)
+        pre = bank.or_(
+            value.is_file(bank),
+            bank.and_(
+                value.is_dir(bank),
+                _children_absent(bank, state, expr.path),
+            ),
+        )
+        return state.with_ok(bank.and_(state.ok, pre)).update(
+            expr.path, SymbolicValue.const(bank, V_DNE)
+        )
+    if isinstance(expr, fx.Cp):
+        src = _value(state, expr.src)
+        pre = bank.and_(
+            src.is_file(bank),
+            _is_dir(bank, state, expr.dst.parent()),
+            _value(state, expr.dst).is_dne(bank),
+        )
+        return state.with_ok(bank.and_(state.ok, pre)).update(
+            expr.dst, src
+        )
+    if isinstance(expr, fx.Seq):
+        return apply_expr(
+            bank, apply_expr(bank, state, expr.first), expr.second
+        )
+    if isinstance(expr, fx.If):
+        guard = encode_pred(bank, state, expr.pred)
+        if guard is bank.TRUE:
+            return apply_expr(bank, state, expr.then_branch)
+        if guard is bank.FALSE:
+            return apply_expr(bank, state, expr.else_branch)
+        then_state = apply_expr(bank, state, expr.then_branch)
+        else_state = apply_expr(bank, state, expr.else_branch)
+        return _join(bank, guard, then_state, else_state)
+    raise TypeError(f"unknown expression: {expr!r}")
+
+
+def _join(
+    bank: TermBank,
+    guard: Term,
+    then_state: SymbolicState,
+    else_state: SymbolicState,
+) -> SymbolicState:
+    ok = bank.ite(guard, then_state.ok, else_state.ok)
+    fs: Dict[Path, SymbolicValue] = dict(else_state.fs)
+    for path, then_value in then_state.fs.items():
+        else_value = else_state.fs.get(path, then_value)
+        fs[path] = SymbolicValue.ite(bank, guard, then_value, else_value)
+    return SymbolicState(ok, fs)
+
+
+def _value(state: SymbolicState, path: Path) -> SymbolicValue:
+    return state.value(path)
+
+
+def _is_dir(bank: TermBank, state: SymbolicState, path: Path) -> Term:
+    """dir?(p); the root is always a directory."""
+    if path.is_root:
+        return bank.TRUE
+    return state.value(path).is_dir(bank)
+
+
+def _children_absent(
+    bank: TermBank, state: SymbolicState, path: Path
+) -> Term:
+    """All *modeled* children of ``path`` are absent.  Complete because
+    the domain (Fig. 8) contains a fresh witness child for every path
+    whose children are observable (rm / emptydir?)."""
+    parts = []
+    for candidate, value in state.fs.items():
+        if candidate.is_child_of(path):
+            parts.append(value.is_dne(bank))
+    return bank.and_(*parts)

@@ -1,0 +1,66 @@
+"""Decoding SAT models back to concrete filesystems.
+
+A model of a determinacy (or equivalence) query assigns the initial
+path-state indicator variables; :func:`decode_filesystem` rebuilds the
+witness initial filesystem, substituting printable placeholder text
+for the generic contents ω₁/ω₂.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.fs.filesystem import DIR, FileContent, FileSystem
+from repro.fs.paths import Path
+from repro.smt.values import (
+    OMEGA_1,
+    OMEGA_2,
+    PathDomains,
+    V_DIR,
+    V_DNE,
+    VFile,
+    initial_var_name,
+)
+
+GENERIC_PLACEHOLDERS = {
+    OMEGA_1: "<arbitrary-content-1>",
+    OMEGA_2: "<arbitrary-content-2>",
+}
+
+
+def decode_filesystem(
+    domains: PathDomains, named_model: Dict[str, bool]
+) -> FileSystem:
+    """Rebuild the initial filesystem from named variable values.
+
+    ``named_model`` maps variable names (as produced by
+    :func:`~repro.smt.values.initial_var_name`) to booleans; variables
+    missing from the model default to False, matching the solver's
+    don't-care convention.
+    """
+    entries: Dict[Path, object] = {}
+    for path in domains.paths:
+        chosen = None
+        for value in domains.values(path):
+            if named_model.get(initial_var_name(path, value), False):
+                chosen = value
+                break
+        if chosen is None or chosen == V_DNE:
+            continue
+        if chosen == V_DIR:
+            entries[path] = DIR
+        else:
+            assert isinstance(chosen, VFile)
+            text = GENERIC_PLACEHOLDERS.get(chosen.content, chosen.content)
+            entries[path] = FileContent(text)
+    return FileSystem(entries)  # type: ignore[arg-type]
+
+
+def describe_filesystem(fs: FileSystem, limit: Optional[int] = 20) -> str:
+    """Short human-readable rendering for diagnostics."""
+    lines = fs.pretty().splitlines()
+    if limit is not None and len(lines) > limit:
+        shown = lines[:limit]
+        shown.append(f"... and {len(lines) - limit} more entries")
+        return "\n".join(shown)
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""SAT query plumbing: term → CNF → CDCL solver → named model.
+
+A :class:`Query` bundles the term bank, formula assembly, solving, and
+statistics that the analyses report (variable/clause counts feed the
+Fig. 11 instrumentation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.logic.cnf import tseitin
+from repro.logic.terms import Term, TermBank
+from repro.sat.solver import Solver
+
+
+@dataclass
+class QueryResult:
+    sat: bool
+    named_model: Dict[str, bool] = field(default_factory=dict)
+    num_vars: int = 0
+    num_clauses: int = 0
+    solve_seconds: float = 0.0
+    conflicts: int = 0
+    decisions: int = 0
+
+
+class Query:
+    """A single satisfiability question over a term bank."""
+
+    def __init__(self, bank: TermBank):
+        self.bank = bank
+        self._assertions: list[Term] = []
+
+    def assert_term(self, term: Term) -> None:
+        self._assertions.append(term)
+
+    def check(self, max_conflicts: Optional[int] = None) -> QueryResult:
+        formula = self.bank.and_(*self._assertions)
+        if formula is self.bank.TRUE:
+            return QueryResult(sat=True)
+        if formula is self.bank.FALSE:
+            return QueryResult(sat=False)
+        cnf, root_lit = tseitin(formula, self.bank)
+        cnf.add([root_lit])
+        solver = Solver(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+        start = time.perf_counter()
+        result = solver.solve(max_conflicts=max_conflicts)
+        elapsed = time.perf_counter() - start
+        named = cnf.decode(result.assignment) if result.sat else {}
+        return QueryResult(
+            sat=result.sat,
+            named_model=named,
+            num_vars=cnf.num_vars,
+            num_clauses=len(cnf.clauses),
+            solve_seconds=elapsed,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+        )
+
+
+def check_sat(
+    bank: TermBank, term: Term, max_conflicts: Optional[int] = None
+) -> QueryResult:
+    """One-shot satisfiability check of a single term."""
+    query = Query(bank)
+    query.assert_term(term)
+    return query.check(max_conflicts=max_conflicts)

@@ -1,0 +1,102 @@
+"""Tests for the FS pretty printer and expression utilities."""
+
+from repro.fs import (
+    ERR,
+    ID,
+    Path,
+    cp,
+    creat,
+    dir_,
+    emptydir_,
+    file_,
+    file_with,
+    ite,
+    mkdir,
+    none_,
+    pand,
+    pnot,
+    por,
+    rm,
+    seq,
+)
+from repro.fs.pretty import expr_to_str, pred_to_str
+from repro.fs.syntax import expr_size, subexpressions
+
+
+class TestPredPrinting:
+    def test_atoms(self):
+        p = Path.of("/a")
+        assert pred_to_str(none_(p)) == "none?(/a)"
+        assert pred_to_str(file_(p)) == "file?(/a)"
+        assert pred_to_str(dir_(p)) == "dir?(/a)"
+        assert pred_to_str(emptydir_(p)) == "emptydir?(/a)"
+        assert "filecontains?" in pred_to_str(file_with(p, "x"))
+
+    def test_connectives(self):
+        p = Path.of("/a")
+        assert pred_to_str(pnot(file_(p))) == "!file?(/a)"
+        assert pred_to_str(pand(file_(p), dir_(p))) == (
+            "file?(/a) && dir?(/a)"
+        )
+        assert pred_to_str(por(file_(p), dir_(p))) == (
+            "file?(/a) || dir?(/a)"
+        )
+
+    def test_nested_parenthesized(self):
+        p = Path.of("/a")
+        text = pred_to_str(pnot(pand(file_(p), dir_(p))))
+        assert text == "!(file?(/a) && dir?(/a))"
+
+
+class TestExprPrinting:
+    def test_primitives(self):
+        assert expr_to_str(ID) == "id"
+        assert expr_to_str(ERR) == "err"
+        assert expr_to_str(mkdir("/a")) == "mkdir(/a)"
+        assert expr_to_str(creat("/f", "x")) == "creat(/f, 'x')"
+        assert expr_to_str(rm("/f")) == "rm(/f)"
+        assert expr_to_str(cp("/a", "/b")) == "cp(/a, /b)"
+
+    def test_seq_on_lines(self):
+        text = expr_to_str(seq(mkdir("/a"), rm("/a")))
+        assert text == "mkdir(/a);\nrm(/a)"
+
+    def test_if_without_else(self):
+        text = expr_to_str(ite(none_(Path.of("/a")), mkdir("/a")))
+        assert "if (none?(/a))" in text
+        assert "else" not in text
+
+    def test_if_with_else(self):
+        text = expr_to_str(ite(none_(Path.of("/a")), mkdir("/a"), ERR))
+        assert "else" in text
+
+    def test_indentation(self):
+        text = expr_to_str(ite(none_(Path.of("/a")), mkdir("/a")))
+        assert "\n  mkdir(/a)" in text
+
+
+class TestUtilities:
+    def test_expr_size(self):
+        assert expr_size(ID) == 1
+        assert expr_size(seq(mkdir("/a"), rm("/a"))) == 3
+
+    def test_subexpressions_root_first(self):
+        e = seq(mkdir("/a"), rm("/a"))
+        subs = list(subexpressions(e))
+        assert subs[0] == e
+        assert mkdir("/a") in subs
+        assert rm("/a") in subs
+
+    def test_smart_seq_flattens_id(self):
+        assert seq(ID, mkdir("/a"), ID) == mkdir("/a")
+        assert seq() == ID
+
+    def test_smart_seq_err_cuts(self):
+        assert seq(ERR, mkdir("/a")) == ERR
+
+    def test_smart_ite_constant_folding(self):
+        from repro.fs import TRUE, FALSE
+
+        assert ite(TRUE, mkdir("/a"), ERR) == mkdir("/a")
+        assert ite(FALSE, mkdir("/a"), ERR) == ERR
+        assert ite(none_(Path.of("/a")), ID, ID) == ID

@@ -1,0 +1,86 @@
+"""Tests for multi-platform verification (§8 extension)."""
+
+import pytest
+
+from repro.core.platforms import (
+    CENTOS,
+    PLATFORMS,
+    UBUNTU,
+    verify_across_platforms,
+)
+
+PORTABLE = """
+case $osfamily {
+  'Debian': { $web = 'nginx' }
+  'RedHat': { $web = 'httpd' }
+  default:  { fail('unsupported') }
+}
+package{$web: ensure => present }
+"""
+
+DEBIAN_ONLY_FIX = """
+package{'ntp': ensure => present }
+if $osfamily == 'Debian' {
+  file{'/etc/ntp.conf':
+    content => 'server pool.example.org',
+    require => Package['ntp'],
+  }
+} else {
+  # BUG: the RedHat branch forgot the dependency.
+  file{'/etc/ntp.conf': content => 'server pool.example.org' }
+}
+"""
+
+
+class TestProfiles:
+    def test_platforms_registered(self):
+        assert set(PLATFORMS) == {"ubuntu", "centos"}
+
+    def test_facts_differ(self):
+        assert UBUNTU.facts["osfamily"] == "Debian"
+        assert CENTOS.facts["osfamily"] == "RedHat"
+
+    def test_centos_packages(self):
+        db = CENTOS.package_db_factory()
+        assert "/etc/httpd/conf/httpd.conf" in db.lookup("httpd").files
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            verify_across_platforms("package{'vim': }", platforms=["beos"])
+
+
+class TestCrossPlatform:
+    def test_portable_manifest_consistent(self):
+        report = verify_across_platforms(PORTABLE)
+        assert report.consistent
+        assert report.all_ok
+        assert report.divergences() == []
+
+    def test_platform_specific_bug_detected(self):
+        """Deterministic on Debian, non-deterministic on RedHat — the
+        §8 scenario the paper says is worth checking."""
+        report = verify_across_platforms(DEBIAN_ONLY_FIX)
+        assert report.reports["ubuntu"].deterministic is True
+        assert report.reports["centos"].deterministic is False
+        assert not report.consistent
+        assert len(report.divergences()) == 2
+
+    def test_facts_select_different_packages(self):
+        from repro.core.pipeline import Rehearsal
+
+        ubuntu_tool = Rehearsal(
+            context=UBUNTU.context(), facts=UBUNTU.facts
+        )
+        centos_tool = Rehearsal(
+            context=CENTOS.context(), facts=CENTOS.facts
+        )
+        g1, _ = ubuntu_tool.compile(PORTABLE)
+        g2, _ = centos_tool.compile(PORTABLE)
+        assert "Package['nginx']" in g1.nodes
+        assert "Package['httpd']" in g2.nodes
+
+    def test_unsupported_platform_fail_captured(self):
+        report = verify_across_platforms(
+            PORTABLE, platforms=["ubuntu"]
+        )
+        assert report.reports["ubuntu"].error is None

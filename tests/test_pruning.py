@@ -1,0 +1,275 @@
+"""Tests for definitive-write detection and pruning (§4.4, Fig. 10)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_definitive, prune, prune_manifest
+from repro.analysis.definitive import A_DIR, A_DNE, AFile, TOP
+from repro.fs import (
+    ERR,
+    ERROR,
+    ID,
+    FileSystem,
+    Path,
+    cp,
+    creat,
+    dir_,
+    emptydir_,
+    eval_expr,
+    file_,
+    file_with,
+    ite,
+    mkdir,
+    none_,
+    rm,
+    seq,
+)
+from repro.fs.filesystem import DIR, FileContent
+from repro.resources import Resource, ResourceCompiler
+
+
+class TestDefinitiveWrites:
+    def test_plain_creat(self):
+        prof = analyze_definitive(creat("/f", "x"))
+        assert prof[Path.of("/f")].value == AFile("x")
+
+    def test_plain_mkdir(self):
+        prof = analyze_definitive(mkdir("/d"))
+        assert prof[Path.of("/d")].value == A_DIR
+
+    def test_rm(self):
+        prof = analyze_definitive(rm("/f"))
+        assert prof[Path.of("/f")].value == A_DNE
+
+    def test_sequencing_last_write_wins(self):
+        prof = analyze_definitive(seq(creat("/f", "x"), rm("/f")))
+        assert prof[Path.of("/f")].value == A_DNE
+
+    def test_cp_is_indeterminate_with_source_condition(self):
+        prof = analyze_definitive(cp("/src", "/dst"))
+        wp = prof[Path.of("/dst")]
+        assert wp.value is TOP
+        assert Path.of("/src") in wp.condition_paths
+
+    def test_divergent_branch_writes_are_top(self):
+        e = ite(file_(Path.of("/q")), creat("/f", "a"), creat("/f", "b"))
+        prof = analyze_definitive(e)
+        assert prof[Path.of("/f")].value is TOP
+
+    def test_agreeing_branch_writes_are_definite(self):
+        e = ite(file_(Path.of("/q")), creat("/f", "a"), creat("/f", "a"))
+        prof = analyze_definitive(e)
+        assert prof[Path.of("/f")].value == AFile("a")
+
+    def test_error_branch_ignored(self):
+        e = ite(dir_(Path.of("/q")), creat("/f", "a"), ERR)
+        prof = analyze_definitive(e)
+        assert prof[Path.of("/f")].value == AFile("a")
+
+    def test_guarded_write_conditionally_definitive(self):
+        """The package pattern: write guarded on a marker check."""
+        e = ite(file_(Path.of("/marker")), ID, creat("/f", "x"))
+        prof = analyze_definitive(e)
+        wp = prof[Path.of("/f")]
+        assert wp.value == AFile("x")
+        assert Path.of("/marker") in wp.condition_paths
+
+    def test_file_resource_is_definitive(self):
+        compiler = ResourceCompiler()
+        e = compiler.compile(Resource("file", "/f", {"content": "hello"}))
+        prof = analyze_definitive(e)
+        assert prof[Path.of("/f")].value == AFile("hello")
+
+
+class TestPrunePartialEval:
+    def test_prune_removes_write(self):
+        e = creat("/f", "x")
+        pruned = prune(Path.of("/f"), e)
+        out = eval_expr(pruned, FileSystem.empty())
+        assert out is not ERROR
+        assert not out.exists(Path.of("/f"))
+
+    def test_prune_preserves_precondition_error(self):
+        e = creat("/a/f", "x")  # parent missing: must still error
+        pruned = prune(Path.of("/a/f"), e)
+        assert eval_expr(pruned, FileSystem.empty()) is ERROR
+
+    def test_paper_mkdir_read_example(self):
+        """mkdir(p); if dir?(p) id else err ≡ mkdir(p): naive removal
+        would be wrong; the pruner folds the subsequent read."""
+        p = Path.of("/d")
+        e = seq(mkdir(p), ite(dir_(p), ID, ERR))
+        pruned = prune(p, e)
+        out = eval_expr(pruned, FileSystem.empty())
+        assert out is not ERROR  # the read folded to true
+
+    def test_prune_folds_read_after_rm(self):
+        p = Path.of("/f")
+        e = seq(rm(p), ite(none_(p), ID, ERR))
+        pruned = prune(p, e)
+        state = FileSystem.from_dict({"/f": "x"})
+        assert eval_expr(pruned, state) is not ERROR
+
+    def test_reads_of_initial_value_kept(self):
+        p = Path.of("/f")
+        e = seq(ite(file_(p), ID, ERR), creat("/g", "x"))
+        pruned = prune(p, e)
+        assert pruned is not None
+        # No write to p: the read still consults the initial value.
+        assert eval_expr(pruned, FileSystem.empty()) is ERROR
+        ok = eval_expr(pruned, FileSystem.from_dict({"/f": "x"}))
+        assert ok is not ERROR
+
+    def test_double_write_folds_to_error(self):
+        p = Path.of("/f")
+        e = seq(creat(p, "x"), creat(p, "y"))
+        pruned = prune(p, e)
+        # Second creat hits an existing file: always an error.
+        assert eval_expr(pruned, FileSystem.empty()) is ERROR
+        assert eval_expr(e, FileSystem.empty()) is ERROR
+
+    def test_divergent_branches_then_read_bails(self):
+        p = Path.of("/f")
+        e = seq(
+            ite(file_(Path.of("/q")), creat(p, "x"), rm(p)),
+            ite(file_(p), ID, ERR),
+        )
+        assert prune(p, e) is None
+
+    def test_rm_parent_after_removed_write_bails(self):
+        """rm of the parent observes the pruned path's existence; once
+        a write to the path has been removed that observation can no
+        longer be folded."""
+        e = seq(creat("/d/f", "x"), rm("/d/f"), rm("/d"))
+        assert prune(Path.of("/d/f"), e) is None
+
+    def test_rm_parent_with_initial_knowledge_kept(self):
+        pruned = prune(Path.of("/d/f"), rm("/d"))
+        assert pruned == rm("/d")
+
+    def test_prune_preservation_on_states(self):
+        """Pruning preserves ok-status and non-pruned paths exactly."""
+        p = Path.of("/f")
+        e = seq(
+            creat(p, "x"),
+            ite(file_(p), creat("/g", "y"), ID),
+            rm(p),
+        )
+        pruned = prune(p, e)
+        for entries in [{}, {"/f": "z"}, {"/f": None}, {"/g": "old"}]:
+            fs = FileSystem.from_dict(entries)
+            orig = eval_expr(e, fs)
+            new = eval_expr(pruned, fs)
+            if orig is ERROR:
+                assert new is ERROR
+            else:
+                assert new is not ERROR
+                assert orig.lookup(Path.of("/g")) == new.lookup(Path.of("/g"))
+                # The pruned path keeps its initial value.
+                assert new.lookup(p) == fs.lookup(p)
+
+
+def _random_expr(rng, depth):
+    paths = ["/p", "/p/c", "/q"]
+    if depth == 0 or rng.random() < 0.4:
+        kind = rng.randrange(5)
+        p = rng.choice(paths)
+        if kind == 0:
+            return mkdir(p)
+        if kind == 1:
+            return creat(p, rng.choice("xy"))
+        if kind == 2:
+            return rm(p)
+        if kind == 3:
+            return ID
+        return ite(
+            rng.choice(
+                [file_(Path.of(p)), dir_(Path.of(p)), none_(Path.of(p))]
+            ),
+            ID,
+            ERR,
+        )
+    if rng.random() < 0.6:
+        return seq(_random_expr(rng, depth - 1), _random_expr(rng, depth - 1))
+    p = Path.of(rng.choice(paths))
+    return ite(
+        rng.choice([file_(p), dir_(p), none_(p), file_with(p, "x")]),
+        _random_expr(rng, depth - 1),
+        _random_expr(rng, depth - 1),
+    )
+
+
+def _enumerate_states():
+    from itertools import product
+
+    paths = [Path.of("/p"), Path.of("/p/c"), Path.of("/q")]
+    options = [None, DIR, FileContent("x"), FileContent("y")]
+    for combo in product(options, repeat=3):
+        entries = {p: c for p, c in zip(paths, combo) if c is not None}
+        fs = FileSystem(entries)
+        if fs.is_well_formed():
+            yield fs
+
+
+class TestPrunePropertyBased:
+    @given(st.integers(min_value=0, max_value=60_000))
+    @settings(max_examples=80, deadline=None)
+    def test_prune_preserves_ok_and_other_paths(self, seed):
+        """For any expression and pruned path: same error behavior and
+        identical final state on every non-pruned path (the semantic
+        core of Lemma 6)."""
+        rng = random.Random(seed)
+        e = _random_expr(rng, depth=3)
+        target = Path.of(rng.choice(["/p", "/q"]))
+        pruned = prune(target, e)
+        if pruned is None:
+            return  # bail is always allowed
+        for fs in _enumerate_states():
+            orig = eval_expr(e, fs)
+            new = eval_expr(pruned, fs)
+            if orig is ERROR:
+                assert new is ERROR, f"e={e}\npruned={pruned}\nfs={fs!r}"
+                continue
+            assert new is not ERROR, f"e={e}\npruned={pruned}\nfs={fs!r}"
+            for q in [Path.of("/p"), Path.of("/p/c"), Path.of("/q")]:
+                if q == target or target.is_ancestor_of(q):
+                    continue
+                assert orig.lookup(q) == new.lookup(q), (
+                    f"path {q} diverges\ne={e}\npruned={pruned}\nfs={fs!r}"
+                )
+            assert new.lookup(target) == fs.lookup(target)
+
+
+class TestPruneManifest:
+    def test_private_package_files_pruned(self):
+        compiler = ResourceCompiler()
+        pkg = compiler.compile(Resource("package", "apache2", {}))
+        conf = compiler.compile(
+            Resource(
+                "file",
+                "/etc/apache2/sites-available/000-default.conf",
+                {"content": "site"},
+            )
+        )
+        pruned, report = prune_manifest([pkg, conf])
+        # Most apache2 files are touched only by the package and must
+        # be pruned; the shared config file must survive.
+        assert report.stateful_after < report.stateful_before
+        assert Path.of(
+            "/etc/apache2/sites-available/000-default.conf"
+        ) not in report.pruned_paths
+        assert Path.of("/usr/sbin/apache2") in report.pruned_paths
+
+    def test_shared_path_not_pruned(self):
+        e1 = creat("/f", "x")
+        e2 = ite(file_(Path.of("/f")), ID, ERR)
+        _, report = prune_manifest([e1, e2])
+        assert Path.of("/f") not in report.pruned_paths
+
+    def test_prune_single_resource_whole_file(self):
+        e = creat("/f", "x")
+        pruned, report = prune_manifest([e])
+        assert Path.of("/f") in report.pruned_paths

@@ -1,0 +1,211 @@
+"""Extended Puppet language feature tests: arithmetic, selectors,
+functions, plusignment, hashes, and corner cases of the evaluator."""
+
+import pytest
+
+from repro.errors import PuppetEvalError
+from repro.puppet import evaluate_manifest
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic(self):
+        catalog = evaluate_manifest(
+            """
+            $x = 2 + 3 * 4
+            file{"/n-${x}": content => 'x' }
+            """
+        )
+        assert catalog.has("file", "/n-14")
+
+    def test_division_integral(self):
+        catalog = evaluate_manifest(
+            '$x = 10 / 2 file{"/n-$x": content => "x" }'
+        )
+        assert catalog.has("file", "/n-5")
+
+    def test_division_by_zero(self):
+        with pytest.raises(PuppetEvalError, match="division"):
+            evaluate_manifest("$x = 1 / 0")
+
+    def test_modulo(self):
+        catalog = evaluate_manifest(
+            '$x = 7 % 3 file{"/n-$x": content => "x" }'
+        )
+        assert catalog.has("file", "/n-1")
+
+    def test_comparison_drives_branch(self):
+        catalog = evaluate_manifest(
+            """
+            if $processorcount >= 2 { package{'big': } }
+            else { package{'small': } }
+            """
+        )
+        assert catalog.has("package", "big")
+
+    def test_unary_minus(self):
+        catalog = evaluate_manifest(
+            '$x = -2 + 3 file{"/n-$x": content => "x" }'
+        )
+        assert catalog.has("file", "/n-1")
+
+    def test_string_numbers_coerce(self):
+        catalog = evaluate_manifest(
+            """
+            $n = '4'
+            if $n > 2 { package{'ok': } }
+            """
+        )
+        assert catalog.has("package", "ok")
+
+
+class TestInOperator:
+    def test_in_array(self):
+        catalog = evaluate_manifest(
+            """
+            $oses = ['Ubuntu', 'Debian']
+            if $operatingsystem in $oses { package{'apt': } }
+            """
+        )
+        assert catalog.has("package", "apt")
+
+    def test_in_string(self):
+        catalog = evaluate_manifest(
+            "if 'bun' in 'Ubuntu' { package{'yes': } }"
+        )
+        assert catalog.has("package", "yes")
+
+    def test_in_hash_keys(self):
+        catalog = evaluate_manifest(
+            """
+            $h = { 'a' => 1 }
+            if 'a' in $h { package{'yes': } }
+            """
+        )
+        assert catalog.has("package", "yes")
+
+
+class TestSelectors:
+    def test_no_match_no_default_raises(self):
+        with pytest.raises(PuppetEvalError, match="no match"):
+            evaluate_manifest(
+                "$x = 'zzz' ? { 'a' => 1 }"
+            )
+
+    def test_case_insensitive_match(self):
+        catalog = evaluate_manifest(
+            """
+            $pkg = $osfamily ? { 'debian' => 'apt', default => 'yum' }
+            package{$pkg: }
+            """
+        )
+        assert catalog.has("package", "apt")
+
+
+class TestFunctions:
+    def test_split_and_join(self):
+        catalog = evaluate_manifest(
+            """
+            $parts = split('a,b,c', ',')
+            $joined = join($parts, '-')
+            file{"/x-${joined}": content => 'x' }
+            """
+        )
+        assert catalog.has("file", "/x-a-b-c")
+
+    def test_size(self):
+        catalog = evaluate_manifest(
+            """
+            $n = size(['a', 'b', 'c'])
+            file{"/n-$n": content => 'x' }
+            """
+        )
+        assert catalog.has("file", "/n-3")
+
+    def test_template_rejected(self):
+        with pytest.raises(PuppetEvalError, match="template"):
+            evaluate_manifest("$x = template('foo.erb')")
+
+    def test_unknown_function(self):
+        with pytest.raises(PuppetEvalError, match="unknown function"):
+            evaluate_manifest("$x = frobnicate(1)")
+
+    def test_defined_with_string(self):
+        catalog = evaluate_manifest(
+            """
+            class base { }
+            if defined('base') { package{'yes': } }
+            """
+        )
+        assert catalog.has("package", "yes")
+
+
+class TestAttributesAndHashes:
+    def test_hash_attribute_value(self):
+        catalog = evaluate_manifest(
+            """
+            file{'/f': content => 'x', options => { 'a' => 1, 'b' => 2 } }
+            """
+        )
+        opts = catalog.get("file", "/f").resource.get("options")
+        assert opts == {"a": 1, "b": 2}
+
+    def test_plusignment_parsed_as_assignment(self):
+        # +> (append) is accepted syntactically; semantics collapse to
+        # plain assignment in this subset.
+        catalog = evaluate_manifest(
+            "file{'/f': content => 'x', require +> Package['p'] }"
+            " package{'p': }"
+        )
+        graph = catalog.build_graph()
+        assert graph.has_edge("Package['p']", "File['/f']")
+
+    def test_quoted_attribute_names(self):
+        catalog = evaluate_manifest(
+            "file{'/f': 'content' => 'x' }"
+        )
+        assert catalog.get("file", "/f").resource.get_str("content") == "x"
+
+
+class TestUnlessAndRequireFunction:
+    def test_unless_else(self):
+        catalog = evaluate_manifest(
+            """
+            unless $osfamily == 'Debian' { package{'rpm-tools': } }
+            else { package{'deb-tools': } }
+            """
+        )
+        assert catalog.has("package", "deb-tools")
+
+    def test_require_function_includes_and_orders(self):
+        catalog = evaluate_manifest(
+            """
+            class deps { package{'lib': } }
+            class app {
+              require deps
+              package{'app-server': }
+            }
+            include app
+            """
+        )
+        graph = catalog.build_graph()
+        assert graph.has_edge("Package['lib']", "Package['app-server']")
+
+
+class TestMessages:
+    def test_notice_warning_info(self):
+        from repro.puppet import Evaluator, parse_manifest
+
+        ev = Evaluator()
+        ev.evaluate(
+            parse_manifest(
+                "notice('a') warning('b') info('c')"
+            )
+        )
+        assert len(ev.messages) == 3
+
+    def test_interpolated_notice(self):
+        from repro.puppet import Evaluator, parse_manifest
+
+        ev = Evaluator()
+        ev.evaluate(parse_manifest('$x = 5 notice("value $x")'))
+        assert ev.messages == ["notice: value 5"]

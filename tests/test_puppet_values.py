@@ -1,0 +1,139 @@
+"""Unit tests for runtime values, interpolation, and scoping."""
+
+import pytest
+
+from repro.errors import PuppetEvalError
+from repro.puppet.scope import Scope, ScopeStack
+from repro.puppet.values import (
+    RefValue,
+    interpolate,
+    to_display,
+    truthy,
+    values_equal,
+)
+
+
+class TestDisplay:
+    def test_undef_is_empty(self):
+        assert to_display(None) == ""
+
+    def test_booleans(self):
+        assert to_display(True) == "true"
+        assert to_display(False) == "false"
+
+    def test_integral_float(self):
+        assert to_display(4.0) == "4"
+        assert to_display(4.5) == "4.5"
+
+    def test_array_joined(self):
+        assert to_display(["a", "b"]) == "a b"
+
+    def test_ref(self):
+        assert to_display(RefValue("file", "/x")) == "File['/x']"
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value", [False, None, ""])
+    def test_falsey(self, value):
+        assert not truthy(value)
+
+    @pytest.mark.parametrize("value", [True, "x", "false", 0, 0.0, [], {}])
+    def test_truthy(self, value):
+        # Note: Puppet treats the *string* 'false' and the number 0 as
+        # truthy; only false/undef/'' are false.
+        assert truthy(value)
+
+
+class TestEquality:
+    def test_strings_case_insensitive(self):
+        assert values_equal("Debian", "debian")
+        assert not values_equal("Debian", "RedHat")
+
+    def test_numbers_cross_type(self):
+        assert values_equal(4, 4.0)
+
+    def test_bool_not_equal_to_string(self):
+        assert not values_equal(True, "true")
+
+    def test_arrays(self):
+        assert values_equal([1, 2], [1, 2])
+
+
+class TestInterpolation:
+    def lookup(self, bindings):
+        return lambda name: bindings.get(name)
+
+    def test_simple_var(self):
+        out = interpolate("hello $name!", self.lookup({"name": "world"}))
+        assert out == "hello world!"
+
+    def test_braced_var(self):
+        out = interpolate("a${x}b", self.lookup({"x": "-"}))
+        assert out == "a-b"
+
+    def test_missing_var_is_empty(self):
+        assert interpolate("a${nope}b", self.lookup({})) == "ab"
+
+    def test_escaped_dollar(self):
+        out = interpolate(r"cost: \$5", self.lookup({}))
+        assert out == "cost: $5"
+
+    def test_qualified_var(self):
+        out = interpolate(
+            "port ${nginx::port}", self.lookup({"nginx::port": 8080})
+        )
+        assert out == "port 8080"
+
+    def test_adjacent_text(self):
+        out = interpolate("/home/$user/.vimrc", self.lookup({"user": "carol"}))
+        assert out == "/home/carol/.vimrc"
+
+    def test_dollar_at_end(self):
+        assert interpolate("100$", self.lookup({})) == "100$"
+
+    def test_unterminated_brace(self):
+        with pytest.raises(PuppetEvalError):
+            interpolate("${oops", self.lookup({}))
+
+
+class TestScopes:
+    def test_local_lookup(self):
+        s = Scope("test")
+        s.define("x", 1)
+        assert s.lookup("x") == 1
+
+    def test_parent_chain(self):
+        top = Scope("::")
+        top.define("x", "top")
+        child = Scope("child", parent=top)
+        assert child.lookup("x") == "top"
+        child.define("x", "local")
+        assert child.lookup("x") == "local"
+        assert top.lookup("x") == "top"
+
+    def test_single_assignment(self):
+        s = Scope("test")
+        s.define("x", 1)
+        with pytest.raises(PuppetEvalError, match="reassign"):
+            s.define("x", 2)
+
+    def test_stack_top_qualified(self):
+        stack = ScopeStack()
+        stack.top.define("os", "linux")
+        local = Scope("cls", parent=stack.top)
+        stack.current = local
+        local.define("os", "override")
+        assert stack.resolve("os") == "override"
+        assert stack.resolve("::os") == "linux"
+
+    def test_stack_class_qualified(self):
+        stack = ScopeStack()
+        cls = stack.class_scope("nginx")
+        cls.define("port", 80)
+        assert stack.resolve("nginx::port") == 80
+        assert stack.resolve("::nginx::port") == 80
+
+    def test_missing_resolves_to_none(self):
+        stack = ScopeStack()
+        assert stack.resolve("ghost") is None
+        assert stack.resolve("no::such") is None

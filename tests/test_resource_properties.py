@@ -1,0 +1,133 @@
+"""Property-based tests over the resource models.
+
+The paper's analyses lean on structural properties of the models:
+individual resources are idempotent (§2 "primitive resources are
+designed to be idempotent"), compile deterministically, and their
+footprints soundly overapproximate their effects.  These properties
+are verified here for every supported resource type, both semantically
+(via the SAT-backed equivalence checker) and concretely.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_idempotence_expr, footprint
+from repro.fs import ERROR, FileSystem, Path, eval_expr, seq
+from repro.fs.domain import expr_domain
+from repro.fs.filesystem import DIR, FileContent
+from repro.resources import Resource, ResourceCompiler
+
+SAMPLE_RESOURCES = [
+    Resource("file", "/etc/motd", {"content": "hello"}),
+    Resource("file", "/srv", {"ensure": "directory"}),
+    Resource("file", "/tmp/x", {"ensure": "absent"}),
+    Resource("file", "/f", {"ensure": "file", "content": "x", "force": True}),
+    Resource("package", "m4", {}),
+    Resource("package", "vim", {"ensure": "absent"}),
+    Resource("package", "golang-go", {}),  # has a dependency closure
+    Resource("user", "carol", {"managehome": True}),
+    Resource("user", "dave", {"ensure": "absent"}),
+    Resource("group", "admins", {}),
+    Resource("service", "nginx", {"ensure": "running", "enable": True}),
+    Resource("service", "old", {"ensure": "stopped", "enable": False}),
+    Resource("cron", "tidy", {"command": "/usr/bin/tidy", "hour": "4"}),
+    Resource("host", "db.internal", {"ip": "10.0.0.9"}),
+    Resource("notify", "hello", {}),
+    Resource(
+        "ssh_authorized_key", "k1", {"user": "carol", "key": "AAAA"}
+    ),
+]
+
+_IDS = [f"{r.rtype}:{r.title}" for r in SAMPLE_RESOURCES]
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return ResourceCompiler()
+
+
+class TestEveryModelIsIdempotent:
+    @pytest.mark.parametrize("resource", SAMPLE_RESOURCES, ids=_IDS)
+    def test_idempotent(self, compiler, resource):
+        """e ≡ e;e for every single-resource program — checked
+        symbolically over *all* initial states."""
+        e = compiler.compile(resource)
+        result = check_idempotence_expr(e)
+        assert result.idempotent, (
+            f"{resource.ref} is not idempotent; witness:\n"
+            f"{result.witness_fs.pretty() if result.witness_fs else '?'}"
+        )
+
+
+class TestCompilationIsDeterministic:
+    @pytest.mark.parametrize("resource", SAMPLE_RESOURCES, ids=_IDS)
+    def test_stable(self, compiler, resource):
+        assert compiler.compile(resource) == compiler.compile(resource)
+
+
+class TestFootprintSoundness:
+    """If a concrete run changes a path, the footprint must have it in
+    its write set (or D set for directories); if the run's outcome
+    depends on a path, it must be read/guarded."""
+
+    @pytest.mark.parametrize("resource", SAMPLE_RESOURCES, ids=_IDS)
+    def test_writes_covered(self, compiler, resource):
+        e = compiler.compile(resource)
+        fp = footprint(e)
+        may_write = set(fp.writes) | set(fp.dir_ensures)
+        for fs in _sample_states(e):
+            out = eval_expr(e, fs)
+            if out is ERROR:
+                continue
+            for p in set(out.paths()) | set(fs.paths()):
+                if out.lookup(p) != fs.lookup(p):
+                    assert p in may_write, (
+                        f"{resource.ref} changed {p} outside its "
+                        f"footprint writes {sorted(map(str, may_write))}"
+                    )
+
+
+def _sample_states(e, samples=6):
+    """A few well-formed states over the expression's domain."""
+    rng = random.Random(1234)
+    paths = sorted(expr_domain(e))
+    yield FileSystem.empty()
+    for _ in range(samples):
+        entries = {}
+        for p in paths:
+            roll = rng.random()
+            if roll < 0.5:
+                continue
+            parent = p.parent()
+            if not parent.is_root and entries.get(parent) is not DIR:
+                continue
+            entries[p] = DIR if roll < 0.8 else FileContent("zzz")
+        yield FileSystem(entries)
+
+
+class TestComposedResources:
+    def test_disjoint_pair_commutes_semantically(self, compiler):
+        from repro.analysis import check_commutes_semantically
+
+        e1 = compiler.compile(Resource("group", "a", {}))
+        e2 = compiler.compile(Resource("host", "h", {"ip": "1.2.3.4"}))
+        assert check_commutes_semantically(e1, e2).equivalent
+
+    def test_package_pair_commutes_semantically(self, compiler):
+        from repro.analysis import check_commutes_semantically
+
+        e1 = compiler.compile(Resource("package", "m4", {}))
+        e2 = compiler.compile(Resource("package", "make", {}))
+        assert check_commutes_semantically(e1, e2).equivalent
+
+    def test_install_remove_same_package_does_not_commute(self, compiler):
+        from repro.analysis import check_commutes_semantically
+
+        e1 = compiler.compile(Resource("package", "vim", {}))
+        e2 = compiler.compile(
+            Resource("package", "vim2", {"name": "vim", "ensure": "absent"})
+        )
+        assert not check_commutes_semantically(e1, e2).equivalent

@@ -1,0 +1,377 @@
+"""Tests for the resource models (C : R → FS, §3.3)."""
+
+import pytest
+
+from repro.errors import (
+    PackageNotFoundError,
+    ResourceModelError,
+    UnsupportedResourceError,
+)
+from repro.fs import ERROR, FileSystem, Path, eval_expr
+from repro.resources import (
+    ModelContext,
+    PackageDatabase,
+    Resource,
+    ResourceCompiler,
+    ResourceRef,
+    compile_resource,
+    synthetic_package,
+)
+from repro.resources.package import marker_path
+from repro.resources.ssh_authorized_key import keyfile_path, logical_key_path
+from repro.resources.user import account_path, home_path
+
+
+@pytest.fixture()
+def compiler():
+    return ResourceCompiler()
+
+
+def apply(compiler, resource, fs=None):
+    return eval_expr(compiler.compile(resource), fs or FileSystem.empty())
+
+
+def fs_with(entries):
+    return FileSystem.from_dict(entries)
+
+
+class TestResourceRef:
+    def test_type_normalized(self):
+        assert ResourceRef("File", "/a") == ResourceRef("file", "/a")
+
+    def test_str(self):
+        assert str(ResourceRef("file", "/a")) == "File['/a']"
+
+    def test_resource_ref(self):
+        r = Resource("Package", "vim")
+        assert r.ref == ResourceRef("package", "vim")
+
+
+class TestFileResource:
+    def test_create_file_with_content(self, compiler):
+        r = Resource("file", "/etc/motd", {"content": "hello"})
+        out = apply(compiler, r, fs_with({"/etc": None}))
+        assert out.file_content(Path.of("/etc/motd")) == "hello"
+
+    def test_title_is_default_path(self, compiler):
+        r = Resource("file", "/f", {"content": "x"})
+        out = apply(compiler, r)
+        assert out.is_file(Path.of("/f"))
+
+    def test_path_attribute_overrides_title(self, compiler):
+        r = Resource("file", "motd", {"path": "/g", "content": "x"})
+        out = apply(compiler, r)
+        assert out.is_file(Path.of("/g"))
+
+    def test_missing_parent_errors(self, compiler):
+        """The Fig. 3a failure mode: config file before its package."""
+        r = Resource("file", "/etc/apache2/foo.conf", {"content": "x"})
+        assert apply(compiler, r) is ERROR
+
+    def test_overwrites_existing_file(self, compiler):
+        r = Resource("file", "/f", {"content": "new"})
+        out = apply(compiler, r, fs_with({"/f": "old"}))
+        assert out.file_content(Path.of("/f")) == "new"
+
+    def test_idempotent_when_content_matches(self, compiler):
+        r = Resource("file", "/f", {"content": "x"})
+        once = apply(compiler, r)
+        twice = eval_expr(compiler.compile(r), once)
+        assert once == twice
+
+    def test_directory(self, compiler):
+        r = Resource("file", "/srv", {"ensure": "directory"})
+        out = apply(compiler, r)
+        assert out.is_dir(Path.of("/srv"))
+
+    def test_directory_existing_is_noop(self, compiler):
+        r = Resource("file", "/srv", {"ensure": "directory"})
+        state = fs_with({"/srv": None})
+        assert apply(compiler, r, state) == state
+
+    def test_directory_over_file_requires_force(self, compiler):
+        r = Resource("file", "/srv", {"ensure": "directory"})
+        assert apply(compiler, r, fs_with({"/srv": "f"})) is ERROR
+        forced = Resource(
+            "file", "/srv", {"ensure": "directory", "force": True}
+        )
+        out = apply(compiler, forced, fs_with({"/srv": "f"}))
+        assert out.is_dir(Path.of("/srv"))
+
+    def test_absent_removes_file(self, compiler):
+        r = Resource("file", "/f", {"ensure": "absent"})
+        out = apply(compiler, r, fs_with({"/f": "x"}))
+        assert not out.exists(Path.of("/f"))
+
+    def test_absent_missing_is_noop(self, compiler):
+        r = Resource("file", "/f", {"ensure": "absent"})
+        assert apply(compiler, r) == FileSystem.empty()
+
+    def test_absent_nonempty_dir_errors(self, compiler):
+        r = Resource("file", "/d", {"ensure": "absent"})
+        assert apply(compiler, r, fs_with({"/d": None, "/d/f": "x"})) is ERROR
+
+    def test_source_copies(self, compiler):
+        r = Resource("file", "/dst", {"source": "/src"})
+        out = apply(compiler, r, fs_with({"/src": "payload"}))
+        assert out.file_content(Path.of("/dst")) == "payload"
+
+    def test_content_and_source_conflict(self, compiler):
+        r = Resource("file", "/f", {"content": "x", "source": "/s"})
+        with pytest.raises(ResourceModelError):
+            compiler.compile(r)
+
+    def test_link_rejected(self, compiler):
+        r = Resource("file", "/f", {"ensure": "link"})
+        with pytest.raises(ResourceModelError):
+            compiler.compile(r)
+
+    def test_empty_content_default(self, compiler):
+        r = Resource("file", "/f", {})
+        out = apply(compiler, r)
+        assert out.file_content(Path.of("/f")) == ""
+
+    def test_dir_cannot_have_content(self, compiler):
+        r = Resource("file", "/d", {"ensure": "directory", "content": "x"})
+        with pytest.raises(ResourceModelError):
+            compiler.compile(r)
+
+
+class TestPackageResource:
+    def test_install_creates_files_and_marker(self, compiler):
+        r = Resource("package", "vim", {"ensure": "present"})
+        out = apply(compiler, r)
+        assert out.is_file(Path.of("/usr/bin/vim"))
+        assert out.is_file(Path.of("/usr/share/vim/vimrc"))
+        assert out.is_file(marker_path("vim"))
+
+    def test_install_is_idempotent(self, compiler):
+        r = Resource("package", "vim", {})
+        once = apply(compiler, r)
+        twice = eval_expr(compiler.compile(r), once)
+        assert once == twice
+
+    def test_install_unique_contents(self, compiler):
+        r = Resource("package", "vim", {})
+        out = apply(compiler, r)
+        c1 = out.file_content(Path.of("/usr/bin/vim"))
+        c2 = out.file_content(Path.of("/usr/share/vim/vimrc"))
+        assert c1 != c2
+
+    def test_remove_deletes_files(self, compiler):
+        installed = apply(compiler, Resource("package", "vim", {}))
+        r = Resource("package", "vim", {"ensure": "absent"})
+        out = eval_expr(compiler.compile(r), installed)
+        assert not out.exists(Path.of("/usr/bin/vim"))
+        assert not out.exists(marker_path("vim"))
+
+    def test_remove_missing_is_noop(self, compiler):
+        r = Resource("package", "vim", {"ensure": "absent"})
+        assert apply(compiler, r) == FileSystem.empty()
+
+    def test_install_pulls_dependencies(self, compiler):
+        """golang-go depends on perl (Fig. 3c, Ubuntu 14.04)."""
+        r = Resource("package", "golang-go", {})
+        out = apply(compiler, r)
+        assert out.is_file(marker_path("golang-go"))
+        assert out.is_file(marker_path("perl"))
+
+    def test_remove_cascades_to_dependents(self, compiler):
+        go = apply(compiler, Resource("package", "golang-go", {}))
+        r = Resource("package", "perl", {"ensure": "absent"})
+        out = eval_expr(compiler.compile(r), go)
+        assert not out.exists(marker_path("perl"))
+        assert not out.exists(marker_path("golang-go"))
+
+    def test_fig3c_two_distinct_success_states(self, compiler):
+        """remove-perl and install-go in either order reach different
+        final states — the silent failure of Fig. 3c."""
+        remove_perl = compiler.compile(
+            Resource("package", "perl", {"ensure": "absent"})
+        )
+        install_go = compiler.compile(Resource("package", "golang-go", {}))
+        from repro.fs import seq
+
+        initial = FileSystem.empty()
+        order1 = eval_expr(seq(remove_perl, install_go), initial)
+        order2 = eval_expr(seq(install_go, remove_perl), initial)
+        assert order1 is not ERROR and order2 is not ERROR
+        assert order1 != order2
+        assert order1.is_file(marker_path("golang-go"))
+        assert not order2.exists(marker_path("golang-go"))
+
+    def test_synthetic_package(self, compiler):
+        r = Resource("package", "no-such-package-xyz", {})
+        out = apply(compiler, r)
+        assert out.is_file(Path.of("/usr/bin/no-such-package-xyz"))
+
+    def test_strict_database_rejects_unknown(self):
+        ctx = ModelContext(package_db=PackageDatabase(synthesize=False))
+        compiler = ResourceCompiler(ctx)
+        with pytest.raises(PackageNotFoundError):
+            compiler.compile(Resource("package", "no-such-package-xyz", {}))
+
+    def test_bad_ensure(self, compiler):
+        r = Resource("package", "vim", {"ensure": "sideways"})
+        with pytest.raises(ResourceModelError):
+            compiler.compile(r)
+
+
+class TestUserResource:
+    def test_present_creates_account(self, compiler):
+        r = Resource("user", "carol", {"ensure": "present"})
+        out = apply(compiler, r)
+        assert out.is_file(account_path("carol"))
+        assert not out.exists(home_path("carol"))
+
+    def test_managehome_creates_home(self, compiler):
+        r = Resource(
+            "user", "carol", {"ensure": "present", "managehome": True}
+        )
+        out = apply(compiler, r)
+        assert out.is_dir(home_path("carol"))
+
+    def test_present_idempotent(self, compiler):
+        r = Resource("user", "carol", {"managehome": True})
+        once = apply(compiler, r)
+        assert eval_expr(compiler.compile(r), once) == once
+
+    def test_absent_removes_account(self, compiler):
+        r = Resource("user", "carol", {"managehome": True})
+        created = apply(compiler, r)
+        gone = eval_expr(
+            compiler.compile(
+                Resource(
+                    "user", "carol", {"ensure": "absent", "managehome": True}
+                )
+            ),
+            created,
+        )
+        assert not gone.exists(account_path("carol"))
+        assert not gone.exists(home_path("carol"))
+
+
+class TestSshKeyResource:
+    def test_requires_user_home(self, compiler):
+        """Without the user's home directory the key-file write fails —
+        the missing user→key dependency bug from §6."""
+        r = Resource(
+            "ssh_authorized_key", "carol@laptop", {"user": "carol", "key": "AAAA"}
+        )
+        assert apply(compiler, r) is ERROR
+
+    def test_succeeds_after_user(self, compiler):
+        user = Resource("user", "carol", {"managehome": True})
+        state = apply(compiler, user)
+        key = Resource(
+            "ssh_authorized_key", "carol@laptop", {"user": "carol", "key": "AAAA"}
+        )
+        out = eval_expr(compiler.compile(key), state)
+        assert out.is_file(logical_key_path("carol", "carol@laptop"))
+        assert out.is_file(keyfile_path("carol"))
+
+    def test_two_keys_same_user_commute(self, compiler):
+        from repro.fs import seq
+
+        user = Resource("user", "carol", {"managehome": True})
+        base = apply(compiler, user)
+        k1 = compiler.compile(
+            Resource("ssh_authorized_key", "k1", {"user": "carol", "key": "A"})
+        )
+        k2 = compiler.compile(
+            Resource("ssh_authorized_key", "k2", {"user": "carol", "key": "B"})
+        )
+        assert eval_expr(seq(k1, k2), base) == eval_expr(seq(k2, k1), base)
+
+    def test_user_attribute_required(self, compiler):
+        r = Resource("ssh_authorized_key", "k", {"key": "A"})
+        with pytest.raises(ResourceModelError):
+            compiler.compile(r)
+
+
+class TestOtherResources:
+    def test_group(self, compiler):
+        out = apply(compiler, Resource("group", "admins", {}))
+        assert out.is_file(Path.of("/etc/groups/admins"))
+
+    def test_service_running(self, compiler):
+        out = apply(
+            compiler,
+            Resource("service", "nginx", {"ensure": "running", "enable": True}),
+        )
+        assert out.is_file(Path.of("/var/run/services/nginx"))
+        assert out.is_file(Path.of("/etc/rc.d/nginx"))
+
+    def test_service_idempotent(self, compiler):
+        r = Resource("service", "nginx", {"ensure": "running"})
+        once = apply(compiler, r)
+        assert eval_expr(compiler.compile(r), once) == once
+
+    def test_cron(self, compiler):
+        r = Resource(
+            "cron",
+            "logrotate",
+            {"command": "/usr/sbin/logrotate", "hour": "2"},
+        )
+        out = apply(compiler, r)
+        assert out.is_file(Path.of("/var/spool/cron/root/logrotate"))
+
+    def test_cron_requires_command(self, compiler):
+        with pytest.raises(ResourceModelError):
+            compiler.compile(Resource("cron", "x", {}))
+
+    def test_host(self, compiler):
+        r = Resource("host", "db.internal", {"ip": "10.0.0.5"})
+        out = apply(compiler, r)
+        assert out.file_content(Path.of("/etc/hosts.d/db.internal")) == (
+            "host:db.internal:10.0.0.5"
+        )
+
+    def test_notify_is_noop(self, compiler):
+        out = apply(compiler, Resource("notify", "hello", {}))
+        assert out == FileSystem.empty()
+
+    def test_exec_rejected(self, compiler):
+        with pytest.raises(UnsupportedResourceError):
+            compiler.compile(Resource("exec", "apt-get update", {}))
+
+    def test_unknown_type_rejected(self, compiler):
+        with pytest.raises(ResourceModelError):
+            compiler.compile(Resource("mount", "/mnt", {}))
+
+    def test_register_custom_model(self, compiler):
+        from repro.fs import ID
+
+        compiler.register("mount", lambda r, c: ID)
+        assert apply(compiler, Resource("mount", "/mnt", {})) == (
+            FileSystem.empty()
+        )
+
+
+class TestPackageDatabase:
+    def test_curated_lookup(self):
+        db = PackageDatabase()
+        info = db.lookup("apache2")
+        assert "/etc/apache2/sites-available/000-default.conf" in info.files
+
+    def test_synthetic_deterministic(self):
+        assert synthetic_package("foo") == synthetic_package("foo")
+        assert synthetic_package("foo") != synthetic_package("bar")
+
+    def test_install_closure_order(self):
+        db = PackageDatabase()
+        names = [p.name for p in db.install_closure("golang-go")]
+        assert names.index("perl") < names.index("golang-go")
+
+    def test_reverse_dependents(self):
+        db = PackageDatabase()
+        names = [p.name for p in db.reverse_dependents("perl")]
+        assert "golang-go" in names
+        assert "amavisd-new" in names
+
+    def test_register_extra(self):
+        db = PackageDatabase(synthesize=False)
+        from repro.resources import PackageInfo
+
+        db.register(PackageInfo("custom", ("/usr/bin/custom",)))
+        assert db.lookup("custom").files == ("/usr/bin/custom",)

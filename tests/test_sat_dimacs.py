@@ -1,0 +1,61 @@
+"""Tests for DIMACS I/O and the solver on round-tripped instances."""
+
+import io
+
+import pytest
+
+from repro.errors import SolverError
+from repro.sat import (
+    dimacs_to_string,
+    read_dimacs,
+    solve_cnf,
+    write_dimacs,
+)
+
+
+class TestWrite:
+    def test_basic_format(self):
+        text = dimacs_to_string([[1, -2], [2, 3]], 3)
+        lines = text.strip().splitlines()
+        assert lines[0] == "p cnf 3 2"
+        assert lines[1] == "1 -2 0"
+        assert lines[2] == "2 3 0"
+
+    def test_comments(self):
+        buf = io.StringIO()
+        write_dimacs(buf, [[1]], 1, comments=["hello"])
+        assert buf.getvalue().startswith("c hello\n")
+
+
+class TestRead:
+    def test_roundtrip(self):
+        clauses = [[1, -2], [2, 3], [-1, -3]]
+        text = dimacs_to_string(clauses, 3)
+        parsed, nv = read_dimacs(io.StringIO(text))
+        assert parsed == clauses
+        assert nv == 3
+
+    def test_comments_ignored(self):
+        text = "c comment\np cnf 2 1\n1 2 0\n"
+        clauses, nv = read_dimacs(io.StringIO(text))
+        assert clauses == [[1, 2]]
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        clauses, _ = read_dimacs(io.StringIO(text))
+        assert clauses == [[1, 2, 3]]
+
+    def test_missing_header_tolerated(self):
+        clauses, nv = read_dimacs(io.StringIO("1 -2 0\n2 0\n"))
+        assert clauses == [[1, -2], [2]]
+        assert nv == 2
+
+    def test_bad_header(self):
+        with pytest.raises(SolverError):
+            read_dimacs(io.StringIO("p wnf 1 1\n1 0\n"))
+
+    def test_roundtrip_preserves_satisfiability(self):
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+        text = dimacs_to_string(clauses, 2)
+        parsed, nv = read_dimacs(io.StringIO(text))
+        assert solve_cnf(parsed, nv).sat == solve_cnf(clauses, 2).sat

@@ -1,0 +1,172 @@
+"""Tests for the CDCL SAT solver, cross-checked against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    Solver,
+    brute_force_solve,
+    check_assignment,
+    count_models,
+    solve_cnf,
+)
+
+
+class TestBasics:
+    def test_empty_instance_is_sat(self):
+        assert solve_cnf([]).sat
+
+    def test_unit(self):
+        result = solve_cnf([[1]])
+        assert result.sat
+        assert result.assignment[1] is True
+
+    def test_conflicting_units(self):
+        assert not solve_cnf([[1], [-1]]).sat
+
+    def test_simple_implication_chain(self):
+        # 1 -> 2 -> 3, with 1 forced and -3 forced: UNSAT.
+        clauses = [[1], [-1, 2], [-2, 3], [-3]]
+        assert not solve_cnf(clauses).sat
+
+    def test_model_satisfies(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        result = solve_cnf(clauses)
+        assert result.sat
+        assert check_assignment(clauses, result.assignment)
+
+    def test_duplicate_literals_are_merged(self):
+        assert solve_cnf([[1, 1, 1]]).sat
+
+    def test_tautology_dropped(self):
+        assert solve_cnf([[1, -1]]).sat
+        # A tautology must not force anything.
+        result = solve_cnf([[1, -1], [-1]])
+        assert result.sat
+
+    def test_empty_clause_unsat(self):
+        assert not solve_cnf([[1], []]).sat
+
+    def test_zero_literal_rejected(self):
+        from repro.errors import SolverError
+
+        solver = Solver()
+        with pytest.raises(SolverError):
+            solver.add_clause([0])
+
+
+class TestStructured:
+    def test_pigeonhole_3_into_2_unsat(self):
+        assert not solve_cnf(_pigeonhole(3, 2)).sat
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        assert not solve_cnf(_pigeonhole(4, 3)).sat
+
+    def test_pigeonhole_3_into_3_sat(self):
+        result = solve_cnf(_pigeonhole(3, 3))
+        assert result.sat
+
+    def test_php_5_4(self):
+        # Big enough to force real conflict analysis and restarts.
+        assert not solve_cnf(_pigeonhole(5, 4)).sat
+
+    def test_xor_chain_sat(self):
+        clauses = []
+        n = 10
+        for i in range(1, n):
+            # x_i xor x_{i+1}
+            clauses.append([i, i + 1])
+            clauses.append([-i, -(i + 1)])
+        result = solve_cnf(clauses)
+        assert result.sat
+        assert check_assignment(clauses, result.assignment)
+
+    def test_at_most_one_block(self):
+        n = 8
+        clauses = [[i for i in range(1, n + 1)]]
+        for i in range(1, n + 1):
+            for j in range(i + 1, n + 1):
+                clauses.append([-i, -j])
+        result = solve_cnf(clauses)
+        assert result.sat
+        assert sum(result.assignment.get(i, False) for i in range(1, n + 1)) == 1
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1])
+        assert result.sat
+        assert result.assignment[2] is True
+
+    def test_contradictory_assumption(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert not solver.solve(assumptions=[-1]).sat
+
+    def test_solver_reusable_after_assumptions(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert not solver.solve(assumptions=[-1, -2]).sat
+        assert solver.solve().sat
+
+
+def _pigeonhole(pigeons: int, holes: int):
+    """var(p, h) = p * holes + h + 1."""
+    clauses = []
+    for p in range(pigeons):
+        clauses.append([p * holes + h + 1 for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-(p1 * holes + h + 1), -(p2 * holes + h + 1)])
+    return clauses
+
+
+def _random_cnf(rng: random.Random, num_vars: int, num_clauses: int):
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        vars_ = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in vars_])
+    return clauses
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_instances_match_oracle(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 9)
+        num_clauses = rng.randint(2, int(4.5 * num_vars))
+        clauses = _random_cnf(rng, num_vars, num_clauses)
+        expected = brute_force_solve(clauses, num_vars)
+        result = solve_cnf(clauses, num_vars)
+        assert result.sat == (expected is not None)
+        if result.sat:
+            assert check_assignment(clauses, result.assignment)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_random_instances(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 8)
+        clauses = _random_cnf(rng, num_vars, rng.randint(1, 30))
+        expected = brute_force_solve(clauses, num_vars)
+        result = solve_cnf(clauses, num_vars)
+        assert result.sat == (expected is not None)
+        if result.sat:
+            assert check_assignment(clauses, result.assignment)
+
+
+class TestOracleHelpers:
+    def test_count_models(self):
+        # x1 or x2 over 2 vars has 3 models.
+        assert count_models([[1, 2]], 2) == 3
+
+    def test_brute_force_limit(self):
+        with pytest.raises(ValueError):
+            brute_force_solve([[1]], 30)

@@ -1,0 +1,124 @@
+"""Tests for the SAT query layer, the benchmark harness functions, and
+the explanation renderer."""
+
+import pytest
+
+from repro.logic import TermBank
+from repro.smt.query import Query, check_sat
+
+
+class TestQueryLayer:
+    def test_trivially_true(self):
+        bank = TermBank()
+        result = check_sat(bank, bank.TRUE)
+        assert result.sat
+        assert result.num_vars == 0
+
+    def test_trivially_false(self):
+        bank = TermBank()
+        assert not check_sat(bank, bank.FALSE).sat
+
+    def test_model_decoding(self):
+        bank = TermBank()
+        a, b = bank.var("a"), bank.var("b")
+        result = check_sat(bank, bank.and_(a, bank.not_(b)))
+        assert result.sat
+        assert result.named_model["a"] is True
+        assert result.named_model["b"] is False
+
+    def test_unsat_formula(self):
+        bank = TermBank()
+        a = bank.var("a")
+        assert not check_sat(bank, bank.and_(a, bank.not_(a))).sat
+
+    def test_multiple_assertions(self):
+        bank = TermBank()
+        q = Query(bank)
+        q.assert_term(bank.or_(bank.var("a"), bank.var("b")))
+        q.assert_term(bank.not_(bank.var("a")))
+        result = q.check()
+        assert result.sat
+        assert result.named_model["b"] is True
+
+    def test_stats_populated(self):
+        bank = TermBank()
+        vars_ = [bank.var(f"x{i}") for i in range(6)]
+        result = check_sat(bank, bank.exactly_one(vars_))
+        assert result.sat
+        assert result.num_vars >= 6
+        assert result.num_clauses > 0
+        assert result.solve_seconds >= 0
+
+
+class TestHarness:
+    def test_timed_determinism_verdicts(self):
+        from repro.bench.harness import timed_determinism
+
+        good = timed_determinism(
+            "ntp-fixed", use_commutativity=True, use_pruning=True
+        )
+        assert not good.timed_out
+        assert good.deterministic is True
+        bad = timed_determinism(
+            "ntp-nondet", use_commutativity=True, use_pruning=True
+        )
+        assert bad.deterministic is False
+
+    def test_synthetic_conflict_graph(self):
+        from repro.bench.harness import synthetic_conflict_graph
+
+        graph, programs = synthetic_conflict_graph(3)
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 0
+        assert len(programs) == 3
+
+    def test_fig13_rows_monotone_workload(self):
+        from repro.bench.harness import fig13_rows
+
+        rows = fig13_rows(ns=(2, 3), timeout=30)
+        assert [n for n, _ in rows] == [2, 3]
+        assert all(t >= 0 for _, t in rows)
+
+    def test_render_rows(self):
+        from repro.bench.harness import TIMEOUT, render_rows
+
+        text = render_rows(
+            "T", ["name", "time"], [("a", 0.5), ("b", TIMEOUT)]
+        )
+        assert "timeout" in text
+        assert "0.500s" in text
+
+    def test_fig11a_subset(self):
+        from repro.bench.harness import fig11a_rows
+
+        rows = fig11a_rows()
+        assert len(rows) == 13
+        for name, before, after in rows:
+            assert after <= before
+
+
+class TestExplanationRendering:
+    def test_render_explanation_nondet(self):
+        from repro.analysis import check_determinism
+        from repro.core.pipeline import Rehearsal
+        from repro.core.report import render_explanation
+        from repro.corpus import load_source
+
+        tool = Rehearsal()
+        graph, programs = tool.compile(load_source("ntp-nondet"))
+        result = check_determinism(graph, programs)
+        text = render_explanation(result, programs)
+        assert "--- order (1) ---" in text
+        assert "--- order (2) ---" in text
+        assert "FAILED" in text or "success" in text
+
+    def test_render_explanation_deterministic(self):
+        from repro.analysis import check_determinism
+        from repro.core.pipeline import Rehearsal
+        from repro.core.report import render_explanation
+        from repro.corpus import load_source
+
+        tool = Rehearsal()
+        graph, programs = tool.compile(load_source("ntp-fixed"))
+        result = check_determinism(graph, programs)
+        assert "nothing to explain" in render_explanation(result, programs)
