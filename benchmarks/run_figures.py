@@ -5,7 +5,12 @@ This is the standalone companion to the pytest-benchmark suite: it
 prints the same rows/series the paper plots, suitable for pasting into
 EXPERIMENTS.md.
 
-Run:  python benchmarks/run_figures.py [--timeout SECONDS]
+Run:  python benchmarks/run_figures.py [--timeout SECONDS] [--smoke]
+
+``--smoke`` runs a seconds-long subset (used by CI): Fig. 11a over the
+whole corpus, the time figures over two representative benchmarks, and
+Fig. 13 at small n — enough to catch a broken corpus or harness
+without paying for the full sweep.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 import argparse
 
 from repro.bench.harness import (
+    BENCHMARK_NAMES,
     fig11a_rows,
     fig11b_rows,
     fig11c_rows,
@@ -23,16 +29,12 @@ from repro.bench.harness import (
     verdict_rows,
 )
 
+SMOKE_NAMES = ("ntp-nondet", "ntp-fixed")
 
-def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument(
-        "--timeout",
-        type=float,
-        default=20.0,
-        help="per-configuration budget in seconds (paper: 600)",
-    )
-    args = parser.parse_args()
+
+def print_figures(timeout: float, smoke: bool) -> None:
+    names = SMOKE_NAMES if smoke else tuple(BENCHMARK_NAMES)
+    subset = " (smoke subset)" if smoke else ""
 
     print(
         render_rows(
@@ -44,57 +46,76 @@ def main() -> None:
     print()
     print(
         render_rows(
-            "Fig. 11b — determinacy time, commutativity on "
+            f"Fig. 11b{subset} — determinacy time, commutativity on "
             "(pruning off / on)",
             ["benchmark", "no pruning", "pruning"],
-            fig11b_rows(timeout=args.timeout),
+            fig11b_rows(timeout=timeout, names=names),
         )
     )
     print()
     print(
         render_rows(
-            "Fig. 11c — determinacy time, §4.4 passes off "
+            f"Fig. 11c{subset} — determinacy time, §4.4 passes off "
             "(commutativity off / on)",
             ["benchmark", "no commutativity", "commutativity"],
-            fig11c_rows(timeout=args.timeout),
+            fig11c_rows(timeout=timeout, names=names),
         )
     )
+    if not smoke:
+        print()
+        print(
+            render_rows(
+                "Fig. 12 — idempotence-check time",
+                ["benchmark", "time"],
+                fig12_rows(),
+            )
+        )
     print()
     print(
         render_rows(
-            "Fig. 12 — idempotence-check time",
-            ["benchmark", "time"],
-            fig12_rows(),
-        )
-    )
-    print()
-    print(
-        render_rows(
-            "Fig. 13 — n conflicting writes (non-deterministic: "
+            f"Fig. 13{subset} — n conflicting writes (non-deterministic: "
             "early SAT model)",
             ["n", "time"],
-            fig13_rows(ns=(2, 3, 4, 5, 6), timeout=args.timeout),
+            fig13_rows(ns=(2, 3) if smoke else (2, 3, 4, 5, 6), timeout=timeout),
         )
     )
-    print()
-    print(
-        render_rows(
-            "Fig. 13 — deterministic variant (full UNSAT proof)",
-            ["n", "time"],
-            fig13_deterministic_rows(ns=(2, 3, 4, 5), timeout=args.timeout),
+    if not smoke:
+        print()
+        print(
+            render_rows(
+                "Fig. 13 — deterministic variant (full UNSAT proof)",
+                ["n", "time"],
+                fig13_deterministic_rows(ns=(2, 3, 4, 5), timeout=timeout),
+            )
         )
-    )
-    print()
-    print(
-        render_rows(
-            '§6 "Bugs found" — verdicts',
-            ["benchmark", "deterministic", "idempotent (of fix)"],
-            [
-                (name, "yes" if det else "NO", "yes" if idem else "NO")
-                for name, det, idem in verdict_rows()
-            ],
+        print()
+        print(
+            render_rows(
+                '§6 "Bugs found" — verdicts',
+                ["benchmark", "deterministic", "idempotent (of fix)"],
+                [
+                    (name, "yes" if det else "NO", "yes" if idem else "NO")
+                    for name, det, idem in verdict_rows()
+                ],
+            )
         )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="per-configuration budget in seconds (paper: 600)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast subset for CI: Fig. 11a plus two benchmarks",
+    )
+    args = parser.parse_args()
+    print_figures(args.timeout, args.smoke)
 
 
 if __name__ == "__main__":

@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-rehearsal",
+    version="0.1.0",
+    description=(
+        "Reproduction of Rehearsal: a configuration verification tool "
+        "for Puppet (PLDI 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # The benchmark corpus ships as data files next to repro.corpus;
+    # without this the manifests silently vanish from wheels/sdists and
+    # load_source() fails on every installed copy.
+    package_data={"repro.corpus": ["manifests/*.pp"]},
+    include_package_data=True,
+    # importlib.resources.files() (repro.corpus) needs 3.9+.
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+)

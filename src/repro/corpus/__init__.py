@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from importlib import resources as importlib_resources
 from typing import Dict, List, Optional
 
+from repro.errors import CorpusManifestMissing
+
 
 @dataclass(frozen=True)
 class BenchmarkCase:
@@ -149,7 +151,10 @@ def load_source(name: str) -> str:
             f"{BENCHMARK_NAMES + sorted(FIXED_VARIANTS)}"
         )
     package = importlib_resources.files("repro.corpus") / "manifests"
-    return (package / filename).read_text(encoding="utf8")
+    try:
+        return (package / filename).read_text(encoding="utf8")
+    except FileNotFoundError:
+        raise CorpusManifestMissing(name, filename, str(package)) from None
 
 
 def idempotence_subject(name: str) -> str:

@@ -1,0 +1,52 @@
+# amavis — mail content filter (§6 benchmark "amavis").
+#
+# Exercises run stages and parameterized classes: the perl prerequisite
+# is pinned into a dedicated 'pre' stage that runs before everything in
+# the default 'main' stage, and the filter class takes its tuning knobs
+# as class parameters.
+
+stage { 'pre': }
+Stage['pre'] -> Stage['main']
+
+class amavis::prereq {
+  # amavisd-new is a perl daemon; the interpreter is staged first.
+  package { 'perl':
+    ensure => installed,
+  }
+}
+
+class amavis ($max_servers = 2, $virus_alert = 'postmaster@example.com') {
+  package { 'amavisd-new':
+    ensure  => installed,
+    require => Package['perl'],
+  }
+
+  file { '/etc/amavis/conf.d/50-user':
+    ensure  => file,
+    content => "use strict;\n\$max_servers = ${max_servers};\n\$virus_admin = \"${virus_alert}\";\n1;\n",
+    require => Package['amavisd-new'],
+  }
+
+  file { '/etc/amavis/conf.d/15-content_filter_mode':
+    ensure  => file,
+    content => "use strict;\nmy @bypass_virus_checks_maps = (1);\n1;\n",
+    require => Package['amavisd-new'],
+  }
+
+  service { 'amavis':
+    ensure    => running,
+    enable    => true,
+    subscribe => [
+      File['/etc/amavis/conf.d/50-user'],
+      File['/etc/amavis/conf.d/15-content_filter_mode'],
+    ],
+  }
+}
+
+class { 'amavis::prereq':
+  stage => 'pre',
+}
+
+class { 'amavis':
+  max_servers => 4,
+}

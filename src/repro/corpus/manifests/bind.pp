@@ -1,0 +1,58 @@
+# bind — authoritative DNS server (§6 benchmark "bind").
+#
+# Exercises facts with a case statement (the package name differs per
+# OS family) and a user-defined type for DNS zones.
+
+define bind::zone ($ztype = 'master', $contact = 'hostmaster.example.com') {
+  file { "/etc/bind/zones/db.${title}":
+    ensure  => file,
+    content => "; ${ztype} zone file for ${title}\n\$TTL 86400\n@ IN SOA ns1.${title}. ${contact}. ( 1 3600 900 604800 86400 )\n@ IN NS ns1.${title}.\n",
+    require => File['/etc/bind/zones'],
+  }
+}
+
+class bind {
+  case $osfamily {
+    'Debian': {
+      $bind_package = 'bind9'
+      $bind_service = 'bind9'
+    }
+    'RedHat': {
+      $bind_package = 'bind'
+      $bind_service = 'named'
+    }
+    default: {
+      $bind_package = 'bind9'
+      $bind_service = 'bind9'
+    }
+  }
+
+  package { $bind_package:
+    ensure => installed,
+  }
+
+  file { '/etc/bind/named.conf.local':
+    ensure  => file,
+    content => "// managed by puppet on ${hostname}\nzone \"example.com\" { type master; file \"/etc/bind/zones/db.example.com\"; };\nzone \"example.net\" { type slave; file \"/etc/bind/zones/db.example.net\"; };\n",
+    require => Package[$bind_package],
+  }
+
+  file { '/etc/bind/zones':
+    ensure  => directory,
+    require => Package[$bind_package],
+  }
+
+  bind::zone { 'example.com': }
+
+  bind::zone { 'example.net':
+    ztype => 'slave',
+  }
+
+  service { $bind_service:
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/bind/named.conf.local'],
+  }
+}
+
+include bind

@@ -1,0 +1,53 @@
+# clamav — antivirus scanner and daemon (§6 benchmark "clamav").
+#
+# Exercises inter-package dependencies (clamav-daemon depends on the
+# clamav engine, so the two resources must be explicitly ordered), a
+# cron job for signature updates, and resource defaults.
+
+class clamav {
+  # Resource defaults: every file in this manifest is root-owned.
+  File {
+    owner => 'root',
+    group => 'root',
+    mode  => '0644',
+  }
+
+  Cron {
+    user => 'root',
+  }
+
+  $mirror = 'db.local.clamav.net'
+
+  package { 'clamav':
+    ensure => installed,
+  }
+
+  # The daemon package pulls in the engine: without this edge the two
+  # installs race over the shared engine payload.
+  package { 'clamav-daemon':
+    ensure  => installed,
+    require => Package['clamav'],
+  }
+
+  file { '/etc/clamav/freshclam.conf':
+    ensure  => file,
+    content => "# managed by puppet\nDatabaseMirror ${mirror}\nChecks 24\nNotifyClamd /etc/clamav/clamd.conf\n",
+    require => [Package['clamav'], Package['clamav-daemon']],
+  }
+
+  cron { 'freshclam-refresh':
+    command => '/usr/bin/freshclam --quiet',
+    minute  => 15,
+    hour    => 2,
+    require => Package['clamav'],
+  }
+
+  service { 'clamav-daemon':
+    ensure    => running,
+    enable    => true,
+    require   => Package['clamav-daemon'],
+    subscribe => File['/etc/clamav/freshclam.conf'],
+  }
+}
+
+include clamav

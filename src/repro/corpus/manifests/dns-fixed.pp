@@ -1,0 +1,28 @@
+# dnsmasq — fixed variant: the drop-in fragment requires the package
+# that provides /etc/dnsmasq.d/, restoring the provider-before-consumer
+# order on every run.
+
+class dnsmasq {
+  $domain     = 'example.lan'
+  $dhcp_start = '192.168.1.50'
+  $dhcp_end   = '192.168.1.150'
+
+  package { 'dnsmasq':
+    ensure => installed,
+  }
+
+  # FIX: the package provides the conf.d directory.
+  file { '/etc/dnsmasq.d/local.conf':
+    ensure  => file,
+    content => "domain=${domain}\nexpand-hosts\ndhcp-range=${dhcp_start},${dhcp_end},12h\n",
+    require => Package['dnsmasq'],
+  }
+
+  service { 'dnsmasq':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/dnsmasq.d/local.conf'],
+  }
+}
+
+include dnsmasq

@@ -1,0 +1,31 @@
+# dnsmasq — combined DNS/DHCP server (§6 benchmark "dns").
+#
+# SEEDED BUG: the drop-in configuration fragment lives in
+# /etc/dnsmasq.d/, a directory that only exists once Package['dnsmasq']
+# has been installed, but the fragment declares no dependency on the
+# package.  If Puppet schedules the fragment first the run fails;
+# schedule the package first and it succeeds.
+
+class dnsmasq {
+  $domain     = 'example.lan'
+  $dhcp_start = '192.168.1.50'
+  $dhcp_end   = '192.168.1.150'
+
+  package { 'dnsmasq':
+    ensure => installed,
+  }
+
+  # BUG: missing require => Package['dnsmasq'] (see dns-fixed.pp).
+  file { '/etc/dnsmasq.d/local.conf':
+    ensure  => file,
+    content => "domain=${domain}\nexpand-hosts\ndhcp-range=${dhcp_start},${dhcp_end},12h\n",
+  }
+
+  service { 'dnsmasq':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/dnsmasq.d/local.conf'],
+  }
+}
+
+include dnsmasq

@@ -1,0 +1,65 @@
+# hosting — multi-site web hosting (§6 benchmark "hosting").
+#
+# Exercises user-defined types (one per hosted site), virtual user
+# accounts, and a collector that realizes only the accounts this node
+# actually needs.
+
+define hosting::site ($port = 80) {
+  file { "/srv/www/${title}":
+    ensure  => directory,
+    require => File['/srv/www'],
+  }
+
+  file { "/srv/www/${title}/index.html":
+    ensure  => file,
+    content => "<html><body><h1>${title}</h1><p>served on port ${port}</p></body></html>\n",
+  }
+
+  file { "/etc/apache2/sites-available/${title}.conf":
+    ensure  => file,
+    content => "<VirtualHost *:${port}>\n  ServerName ${title}\n  DocumentRoot /srv/www/${title}\n</VirtualHost>\n",
+    require => Package['apache2'],
+  }
+}
+
+class hosting {
+  package { 'apache2':
+    ensure => installed,
+  }
+
+  file { '/srv':
+    ensure => directory,
+  }
+
+  file { '/srv/www':
+    ensure => directory,
+  }
+
+  # Virtual accounts: the full catalog of hosting staff; only the
+  # deploy account is realized on web nodes.
+  @user { 'deploy':
+    ensure     => present,
+    managehome => true,
+  }
+
+  @user { 'dbadmin':
+    ensure     => present,
+    managehome => true,
+  }
+
+  User <| title == 'deploy' |>
+
+  service { 'apache2':
+    ensure    => running,
+    enable    => true,
+    require   => Package['apache2'],
+  }
+}
+
+hosting::site { 'alpha.example.com': }
+
+hosting::site { 'beta.example.com':
+  port => 8080,
+}
+
+include hosting

@@ -1,0 +1,41 @@
+# ngircd — fixed variant: the operator key requires the user account
+# whose home directory receives it.
+
+class ngircd {
+  $irc_name  = 'irc.example.com'
+  $irc_motd  = 'Welcome to example.com IRC'
+
+  package { 'ngircd':
+    ensure => installed,
+  }
+
+  file { '/etc/ngircd/ngircd.conf':
+    ensure  => file,
+    content => "[Global]\nName = ${irc_name}\nMotdPhrase = ${irc_motd}\nPorts = 6667\n[Options]\nSyslogFacility = local1\n",
+    require => Package['ngircd'],
+  }
+
+  service { 'ngircd':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/ngircd/ngircd.conf'],
+  }
+}
+
+class ngircd::operator {
+  user { 'ircops':
+    ensure     => present,
+    managehome => true,
+  }
+
+  # FIX: the user account (and its home directory) must exist first.
+  ssh_authorized_key { 'ircops@admin':
+    ensure  => present,
+    user    => 'ircops',
+    key     => 'AAAAB3NzaC1yc2EAAAADAQABAAABgQDJxOPerator',
+    require => User['ircops'],
+  }
+}
+
+include ngircd
+include ngircd::operator

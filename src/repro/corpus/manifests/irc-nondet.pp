@@ -1,0 +1,46 @@
+# ngircd — IRC server with an operator account (§6 benchmark "irc").
+#
+# SEEDED BUG: the operator's ssh_authorized_key is deployed into the
+# operator's home directory, but declares no dependency on the
+# User['ircops'] resource that creates that home directory — the
+# real-world missing-user-account-dependency bug the paper reports.
+
+class ngircd {
+  $irc_name  = 'irc.example.com'
+  $irc_motd  = 'Welcome to example.com IRC'
+
+  package { 'ngircd':
+    ensure => installed,
+  }
+
+  file { '/etc/ngircd/ngircd.conf':
+    ensure  => file,
+    content => "[Global]\nName = ${irc_name}\nMotdPhrase = ${irc_motd}\nPorts = 6667\n[Options]\nSyslogFacility = local1\n",
+    require => Package['ngircd'],
+  }
+
+  service { 'ngircd':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/ngircd/ngircd.conf'],
+  }
+}
+
+class ngircd::operator {
+  user { 'ircops':
+    ensure     => present,
+    managehome => true,
+  }
+
+  # BUG: missing require => User['ircops'] (see irc-fixed.pp) — the
+  # key lands in /home/ircops/.ssh, which only exists once the user
+  # account (and its home directory) has been created.
+  ssh_authorized_key { 'ircops@admin':
+    ensure => present,
+    user   => 'ircops',
+    key    => 'AAAAB3NzaC1yc2EAAAADAQABAAABgQDJxOPerator',
+  }
+}
+
+include ngircd
+include ngircd::operator

@@ -1,0 +1,89 @@
+# jpa — Java web application on Tomcat with a MySQL backend (§6
+# benchmark "jpa").
+#
+# Exercises class inheritance (params → base → tomcat) and cross-class
+# dependencies (the whole database tier is ordered before the
+# application tier).
+
+class jpa::params {
+  $app_root  = '/srv/jpa'
+  $db_name   = 'jpadb'
+  $db_user   = 'jpa'
+  $http_port = 8080
+}
+
+class jpa::base inherits jpa::params {
+  package { 'openjdk-8-jre-headless':
+    ensure => installed,
+  }
+}
+
+class jpa::tomcat inherits jpa::base {
+  # tomcat7 pulls in the JRE: the edge keeps the two installs ordered.
+  package { 'tomcat7':
+    ensure  => installed,
+    require => Package['openjdk-8-jre-headless'],
+  }
+
+  file { '/etc/tomcat7/server.xml':
+    ensure  => file,
+    content => "<Server port=\"8005\">\n  <Connector port=\"${http_port}\" protocol=\"HTTP/1.1\"/>\n</Server>\n",
+    require => Package['tomcat7'],
+  }
+
+  file { '/etc/default/tomcat7':
+    ensure  => file,
+    content => "TOMCAT7_USER=tomcat7\nJAVA_OPTS=\"-Xmx256m\"\n",
+    require => Package['tomcat7'],
+  }
+
+  service { 'tomcat7':
+    ensure    => running,
+    enable    => true,
+    subscribe => [File['/etc/tomcat7/server.xml'], File['/etc/default/tomcat7']],
+  }
+}
+
+class jpa::db inherits jpa::params {
+  package { 'mysql-server':
+    ensure => installed,
+  }
+
+  file { '/etc/mysql/conf.d/jpa.cnf':
+    ensure  => file,
+    content => "[mysqld]\n# schema ${db_name}, application user ${db_user}\nmax_connections = 64\n",
+    require => Package['mysql-server'],
+  }
+
+  service { 'mysql':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/mysql/conf.d/jpa.cnf'],
+  }
+}
+
+class jpa::app inherits jpa::params {
+  file { '/srv':
+    ensure => directory,
+  }
+
+  file { $app_root:
+    ensure  => directory,
+    require => File['/srv'],
+  }
+
+  file { "${app_root}/app.properties":
+    ensure  => file,
+    content => "db=${db_name}\nuser=${db_user}\nport=${http_port}\n",
+    require => File[$app_root],
+  }
+}
+
+include jpa::tomcat
+include jpa::db
+include jpa::app
+
+# Cross-class dependencies: the database tier precedes both the
+# application payload and the servlet container.
+Class['jpa::db'] -> Class['jpa::app']
+Class['jpa::db'] -> Class['jpa::tomcat']

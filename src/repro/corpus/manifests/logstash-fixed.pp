@@ -1,0 +1,26 @@
+# logstash — fixed variant: the pipeline fragment requires the package
+# that provides /etc/logstash/conf.d/.
+
+class logstash {
+  $syslog_path = '/var/log/syslog'
+  $es_host     = 'es.example.com'
+
+  package { 'logstash':
+    ensure => installed,
+  }
+
+  # FIX: the package provides the conf.d directory.
+  file { '/etc/logstash/conf.d/10-pipeline.conf':
+    ensure  => file,
+    content => "input { file { path => \"${syslog_path}\" } }\noutput { elasticsearch { hosts => [\"${es_host}:9200\"] } }\n",
+    require => Package['logstash'],
+  }
+
+  service { 'logstash':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/logstash/conf.d/10-pipeline.conf'],
+  }
+}
+
+include logstash

@@ -1,0 +1,28 @@
+# logstash — log aggregation pipeline (§6 benchmark "logstash").
+#
+# SEEDED BUG: the pipeline definition is written into
+# /etc/logstash/conf.d/, a directory provided by Package['logstash'],
+# but carries no dependency on the package.
+
+class logstash {
+  $syslog_path = '/var/log/syslog'
+  $es_host     = 'es.example.com'
+
+  package { 'logstash':
+    ensure => installed,
+  }
+
+  # BUG: missing require => Package['logstash'] (see logstash-fixed.pp).
+  file { '/etc/logstash/conf.d/10-pipeline.conf':
+    ensure  => file,
+    content => "input { file { path => \"${syslog_path}\" } }\noutput { elasticsearch { hosts => [\"${es_host}:9200\"] } }\n",
+  }
+
+  service { 'logstash':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/logstash/conf.d/10-pipeline.conf'],
+  }
+}
+
+include logstash

@@ -1,0 +1,41 @@
+# nginx — web server (§6 benchmark "nginx").
+#
+# Exercises a parameterized class: tuning knobs arrive as class
+# parameters with defaults, and the declaration overrides some of them.
+
+class nginx (
+  $worker_processes = 4,
+  $worker_connections = 768,
+  $port = 80,
+  $server_name = 'www.example.com'
+) {
+  package { 'nginx':
+    ensure => installed,
+  }
+
+  file { '/etc/nginx/nginx.conf':
+    ensure  => file,
+    content => "user www-data;\nworker_processes ${worker_processes};\nevents { worker_connections ${worker_connections}; }\nhttp { include /etc/nginx/sites-available/*; }\n",
+    require => Package['nginx'],
+  }
+
+  file { '/etc/nginx/sites-available/default':
+    ensure  => file,
+    content => "server {\n  listen ${port} default_server;\n  server_name ${server_name};\n  root /var/www/html;\n}\n",
+    require => Package['nginx'],
+  }
+
+  service { 'nginx':
+    ensure    => running,
+    enable    => true,
+    subscribe => [
+      File['/etc/nginx/nginx.conf'],
+      File['/etc/nginx/sites-available/default'],
+    ],
+  }
+}
+
+class { 'nginx':
+  worker_processes => 8,
+  port             => 8080,
+}

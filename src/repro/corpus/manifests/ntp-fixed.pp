@@ -1,0 +1,26 @@
+# ntp — fixed variant: the configuration file declares its dependency
+# on the package, so the package's copy of /etc/ntp.conf is always laid
+# down first and then deterministically overwritten by ours.
+
+class ntp {
+  $servers = ['0.pool.ntp.org', '1.pool.ntp.org', '2.pool.ntp.org']
+
+  package { 'ntp':
+    ensure => installed,
+  }
+
+  # FIX: the package install must come first (Fig. 3a, repaired).
+  file { '/etc/ntp.conf':
+    ensure  => file,
+    content => "# managed by puppet\nserver ${servers} iburst\ndriftfile /var/lib/ntp/ntp.drift\nrestrict default nomodify notrap\n",
+    require => Package['ntp'],
+  }
+
+  service { 'ntp':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/ntp.conf'],
+  }
+}
+
+include ntp

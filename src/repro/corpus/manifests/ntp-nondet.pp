@@ -1,0 +1,30 @@
+# ntp — time synchronization (re-creation of the Forge ntp module the
+# paper evaluates in §6).
+#
+# SEEDED BUG (the Fig. 3a pattern): File['/etc/ntp.conf'] overwrites a
+# file that Package['ntp'] also installs, with no ordering between the
+# two.  Run the file resource first and the subsequent package install
+# collides with (or is clobbered by) the hand-written configuration —
+# the final state depends on the order Puppet happens to choose.
+
+class ntp {
+  $servers = ['0.pool.ntp.org', '1.pool.ntp.org', '2.pool.ntp.org']
+
+  package { 'ntp':
+    ensure => installed,
+  }
+
+  # BUG: missing require => Package['ntp'] (see ntp-fixed.pp).
+  file { '/etc/ntp.conf':
+    ensure  => file,
+    content => "# managed by puppet\nserver ${servers} iburst\ndriftfile /var/lib/ntp/ntp.drift\nrestrict default nomodify notrap\n",
+  }
+
+  service { 'ntp':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/ntp.conf'],
+  }
+}
+
+include ntp

@@ -1,0 +1,26 @@
+# rsyslog — fixed variant: the forwarding fragment requires the
+# package that provides /etc/rsyslog.d/.
+
+class rsyslog {
+  $central = 'logs.example.com'
+  $port    = 514
+
+  package { 'rsyslog':
+    ensure => installed,
+  }
+
+  # FIX: the package provides the rsyslog.d directory.
+  file { '/etc/rsyslog.d/10-forward.conf':
+    ensure  => file,
+    content => "# forward everything to the central collector\n*.* @@${central}:${port}\n",
+    require => Package['rsyslog'],
+  }
+
+  service { 'rsyslog':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/rsyslog.d/10-forward.conf'],
+  }
+}
+
+include rsyslog

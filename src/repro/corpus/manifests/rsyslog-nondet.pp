@@ -1,0 +1,29 @@
+# rsyslog — system logging with remote forwarding (§6 benchmark
+# "rsyslog").
+#
+# SEEDED BUG: the forwarding fragment is dropped into /etc/rsyslog.d/,
+# which Package['rsyslog'] creates, without a dependency on the
+# package — the classic missing-package-dependency non-determinism.
+
+class rsyslog {
+  $central = 'logs.example.com'
+  $port    = 514
+
+  package { 'rsyslog':
+    ensure => installed,
+  }
+
+  # BUG: missing require => Package['rsyslog'] (see rsyslog-fixed.pp).
+  file { '/etc/rsyslog.d/10-forward.conf':
+    ensure  => file,
+    content => "# forward everything to the central collector\n*.* @@${central}:${port}\n",
+  }
+
+  service { 'rsyslog':
+    ensure    => running,
+    enable    => true,
+    subscribe => File['/etc/rsyslog.d/10-forward.conf'],
+  }
+}
+
+include rsyslog

@@ -1,0 +1,32 @@
+# xinetd — fixed variant: the main configuration requires the package,
+# so the packaged default is always laid down first and then
+# deterministically replaced.
+
+class xinetd {
+  $instances = 50
+
+  package { 'xinetd':
+    ensure => installed,
+  }
+
+  # FIX: overwrite the packaged default only after it exists.
+  file { '/etc/xinetd.conf':
+    ensure  => file,
+    content => "defaults\n{\n    instances   = ${instances}\n    log_type    = SYSLOG daemon info\n}\nincludedir /etc/xinetd.d\n",
+    require => Package['xinetd'],
+  }
+
+  file { '/etc/xinetd.d/tftp':
+    ensure  => file,
+    content => "service tftp\n{\n    socket_type = dgram\n    protocol    = udp\n    server      = /usr/sbin/in.tftpd\n    disable     = no\n}\n",
+    require => Package['xinetd'],
+  }
+
+  service { 'xinetd':
+    ensure    => running,
+    enable    => true,
+    subscribe => [File['/etc/xinetd.conf'], File['/etc/xinetd.d/tftp']],
+  }
+}
+
+include xinetd

@@ -1,0 +1,36 @@
+# xinetd — the super-server, with a tftp service entry (§6 benchmark
+# "xinetd").
+#
+# SEEDED BUG: the main configuration File['/etc/xinetd.conf']
+# overwrites the default config shipped by Package['xinetd'] without
+# any ordering between the two (the Fig. 3a overwrite pattern).  The
+# per-service tftp entry is correctly ordered — the bug is only in the
+# main config.
+
+class xinetd {
+  $instances = 50
+
+  package { 'xinetd':
+    ensure => installed,
+  }
+
+  # BUG: missing require => Package['xinetd'] (see xinetd-fixed.pp).
+  file { '/etc/xinetd.conf':
+    ensure  => file,
+    content => "defaults\n{\n    instances   = ${instances}\n    log_type    = SYSLOG daemon info\n}\nincludedir /etc/xinetd.d\n",
+  }
+
+  file { '/etc/xinetd.d/tftp':
+    ensure  => file,
+    content => "service tftp\n{\n    socket_type = dgram\n    protocol    = udp\n    server      = /usr/sbin/in.tftpd\n    disable     = no\n}\n",
+    require => Package['xinetd'],
+  }
+
+  service { 'xinetd':
+    ensure    => running,
+    enable    => true,
+    subscribe => [File['/etc/xinetd.conf'], File['/etc/xinetd.d/tftp']],
+  }
+}
+
+include xinetd

@@ -45,6 +45,23 @@ class PackageNotFoundError(ResourceModelError):
     """The package database has no entry and synthesis is disabled."""
 
 
+class CorpusManifestMissing(ReproError):
+    """A benchmark named in the corpus inventory has no manifest file
+    on disk (broken checkout or packaging that dropped the .pp data
+    files)."""
+
+    def __init__(self, name: str, filename: str, directory: str):
+        self.name = name
+        self.filename = filename
+        self.directory = directory
+        super().__init__(
+            f"corpus benchmark {name!r} is registered but its manifest "
+            f"{filename!r} is missing from {directory}; the package was "
+            "probably installed without its manifests/*.pp data files "
+            "(see setup.py package_data)"
+        )
+
+
 class AnalysisBudgetExceeded(ReproError):
     """The determinacy analysis exceeded its exploration or time budget.
 

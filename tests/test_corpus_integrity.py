@@ -1,0 +1,62 @@
+"""Fast corpus-integrity smoke checks (no SAT/SMT work).
+
+The full corpus tests in test_corpus.py run the complete determinacy
+and idempotence analyses — tens of slow cases.  This module fails in
+well under a second when the inventory itself breaks: a manifest file
+missing from the checkout (or dropped by packaging), an empty file, or
+source that no longer compiles to a catalog.
+"""
+
+import pytest
+
+from repro.corpus import (
+    BENCHMARK_NAMES,
+    CASES,
+    FIXED_VARIANTS,
+    NONDET_NAMES,
+    load_source,
+)
+from repro.errors import CorpusManifestMissing, ReproError
+from repro.puppet.evaluator import evaluate_manifest
+
+ALL_NAMES = BENCHMARK_NAMES + sorted(FIXED_VARIANTS)
+
+
+class TestManifestFiles:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_exists_and_non_empty(self, name):
+        source = load_source(name)
+        assert source.strip(), f"{name} manifest is empty"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_compiles_to_catalog(self, name):
+        catalog = evaluate_manifest(load_source(name))
+        graph = catalog.build_graph()
+        assert graph.number_of_nodes() > 0, f"{name} compiled to nothing"
+
+    def test_missing_manifest_raises_corpus_error(self, monkeypatch):
+        """A registered benchmark whose .pp file is gone must name the
+        file and directory in a repro error, not leak FileNotFoundError."""
+        monkeypatch.setitem(
+            FIXED_VARIANTS, "ntp-fixed", "no-such-manifest.pp"
+        )
+        with pytest.raises(CorpusManifestMissing) as excinfo:
+            load_source("ntp-fixed")
+        message = str(excinfo.value)
+        assert "no-such-manifest.pp" in message
+        assert "manifests" in message
+        assert isinstance(excinfo.value, ReproError)
+
+
+class TestInventoryShape:
+    def test_nondet_cases_record_their_bug(self):
+        # (fixed_by wiring itself is covered by test_corpus.py.)
+        for name in NONDET_NAMES:
+            assert CASES[name].bug, f"{name} must record its seeded bug class"
+
+    def test_fixed_variants_differ_from_buggy_sources(self):
+        """Each fix must actually change the manifest (the added
+        dependency), not just duplicate the buggy file."""
+        for name in NONDET_NAMES:
+            fixed = CASES[name].fixed_by
+            assert load_source(name) != load_source(fixed)
