@@ -19,6 +19,8 @@ import argparse
 
 from repro.bench.harness import (
     BENCHMARK_NAMES,
+    batch_cache_rows,
+    batch_throughput_rows,
     fig11a_rows,
     fig11b_rows,
     fig11c_rows,
@@ -99,6 +101,29 @@ def print_figures(timeout: float, smoke: bool) -> None:
                 ],
             )
         )
+    print()
+    worker_counts = (1, 2) if smoke else (1, 2, 4)
+    print(
+        render_rows(
+            f"Batch throughput{subset} — corpus via repro.service, "
+            "cache off (speedup needs >1 core)",
+            ["workers", "time", "speedup"],
+            [
+                (workers, seconds, f"{speedup:.2f}x")
+                for workers, seconds, speedup in batch_throughput_rows(
+                    worker_counts=worker_counts, names=names
+                )
+            ],
+        )
+    )
+    print()
+    print(
+        render_rows(
+            f"Verdict cache{subset} — cold vs. warm batch run",
+            ["run", "time", "solver time"],
+            batch_cache_rows(names=names),
+        )
+    )
 
 
 def main() -> None:

@@ -1,8 +1,24 @@
+import re
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Single source of truth: repro.__version__ (the verdict cache
+    keys on it, so packaging metadata must agree)."""
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(
+        r'^__version__ = "([^"]+)"', init.read_text(encoding="utf8"), re.M
+    )
+    if not match:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
 
 setup(
     name="repro-rehearsal",
-    version="0.1.0",
+    version=read_version(),
     description=(
         "Reproduction of Rehearsal: a configuration verification tool "
         "for Puppet (PLDI 2016)"
@@ -17,4 +33,9 @@ setup(
     # importlib.resources.files() (repro.corpus) needs 3.9+.
     python_requires=">=3.9",
     install_requires=["networkx"],
+    entry_points={
+        "console_scripts": [
+            "rehearsal = repro.core.cli:main",
+        ],
+    },
 )

@@ -15,7 +15,14 @@ Public API tour:
 * :mod:`repro.smt`, :mod:`repro.logic`, :mod:`repro.sat` — the solver
   substrate replacing Z3 (see DESIGN.md).
 * :mod:`repro.corpus` — the 13 benchmark configurations of §6.
+* :mod:`repro.service` — batch verification: :class:`BatchVerifier` /
+  :func:`verify_batch` fan a fleet of manifests out to worker
+  processes behind a content-addressed :class:`VerdictCache`.
 """
+
+# The service package reads repro.__version__ (it keys the verdict
+# cache), so the version must be bound before repro.service imports.
+__version__ = "1.1.0"
 
 from repro.analysis.determinism import DeterminismOptions, DeterminismResult
 from repro.analysis.idempotence import IdempotenceResult
@@ -28,20 +35,30 @@ from repro.errors import (
     ReproError,
     ResourceModelError,
 )
-
-__version__ = "1.0.0"
+from repro.service import (
+    BatchReport,
+    BatchVerifier,
+    ManifestResult,
+    VerdictCache,
+    verify_batch,
+)
 
 __all__ = [
     "AnalysisBudgetExceeded",
+    "BatchReport",
+    "BatchVerifier",
     "DependencyCycleError",
     "DeterminismOptions",
     "DeterminismResult",
     "IdempotenceResult",
+    "ManifestResult",
     "PuppetEvalError",
     "PuppetSyntaxError",
     "Rehearsal",
     "ReproError",
     "ResourceModelError",
+    "VerdictCache",
     "VerificationReport",
+    "verify_batch",
     "__version__",
 ]

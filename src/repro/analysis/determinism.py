@@ -181,7 +181,9 @@ class _Explorer:
             )
         if self.deadline is not None and time.perf_counter() > self.deadline:
             raise AnalysisBudgetExceeded(
-                "determinism check timed out", branches=self.branches
+                "determinism check timed out",
+                branches=self.branches,
+                wall_clock=True,
             )
 
 

@@ -3,6 +3,8 @@
 from repro.bench.harness import (
     BenchResult,
     TIMEOUT,
+    batch_cache_rows,
+    batch_throughput_rows,
     fig11a_rows,
     fig11b_rows,
     fig11c_rows,
@@ -18,6 +20,8 @@ from repro.bench.harness import (
 __all__ = [
     "BenchResult",
     "TIMEOUT",
+    "batch_cache_rows",
+    "batch_throughput_rows",
     "fig11a_rows",
     "fig11b_rows",
     "fig11c_rows",

@@ -248,6 +248,61 @@ def fig13_deterministic_rows(
     return rows
 
 
+# -- batch throughput (beyond the paper: the repro.service figure) ------------
+
+
+def batch_throughput_rows(
+    worker_counts: Sequence[int] = (1, 2, 4),
+    names: Sequence[str] = tuple(BENCHMARK_NAMES),
+) -> List[Tuple[int, float, float]]:
+    """(workers, wall seconds, speedup vs. 1 worker) verifying the
+    corpus through :class:`repro.service.BatchVerifier`, cache off.
+
+    The 1-worker row runs serially in-process; parallel rows pay fork +
+    IPC overhead, so on a single-core machine they come out ≥ 1×
+    *slower* — the figure reports whatever the hardware gives.
+    """
+    from repro.service import BatchVerifier
+
+    sources = [(name, load_source(name)) for name in names]
+    timings: List[Tuple[int, float]] = []
+    for workers in worker_counts:
+        verifier = BatchVerifier(workers=workers, cache=None)
+        start = time.perf_counter()
+        verifier.verify_sources(sources)
+        timings.append((workers, time.perf_counter() - start))
+    baseline = next(
+        (seconds for workers, seconds in timings if workers == 1),
+        timings[0][1],
+    )
+    return [
+        (workers, seconds, baseline / seconds)
+        for workers, seconds in timings
+    ]
+
+
+def batch_cache_rows(
+    names: Sequence[str] = tuple(BENCHMARK_NAMES),
+) -> List[Tuple[str, float, float]]:
+    """(run, wall seconds, solver seconds) for a cold then warm batch
+    run over the corpus — the verdict-cache effect in one table."""
+    import tempfile
+
+    from repro.service import BatchVerifier, VerdictCache
+
+    sources = [(name, load_source(name)) for name in names]
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="rehearsal-bench-") as directory:
+        for run in ("cold", "warm"):
+            verifier = BatchVerifier(cache=VerdictCache(directory))
+            start = time.perf_counter()
+            report = verifier.verify_sources(sources)
+            rows.append(
+                (run, time.perf_counter() - start, report.solver_seconds)
+            )
+    return rows
+
+
 # -- §6 verdict table -----------------------------------------------------------
 
 
@@ -274,20 +329,10 @@ def fmt_seconds(s: float) -> str:
 def render_rows(
     title: str, header: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> str:
-    widths = [
-        max(len(str(header[i])), max((len(_cell(r[i])) for r in rows), default=0))
-        for i in range(len(header))
-    ]
-    lines = [title]
-    lines.append(
-        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
-    )
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append(
-            "  ".join(_cell(c).ljust(widths[i]) for i, c in enumerate(row))
-        )
-    return "\n".join(lines)
+    from repro.core.report import render_table
+
+    body = render_table(header, [[_cell(c) for c in row] for row in rows])
+    return f"{title}\n{body}"
 
 
 def _cell(value: object) -> str:

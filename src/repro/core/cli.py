@@ -1,7 +1,26 @@
-"""Command-line interface: ``rehearsal <manifest.pp> [--platform ...]``.
+"""Command-line interface.
 
-Mirrors the artifact's CLI (§8: "Rehearsal takes the platform name as
-a command-line flag").
+Two commands behind one ``rehearsal`` entry point (see setup.py
+``console_scripts``):
+
+* ``rehearsal verify <manifest.pp> [flags]`` — single-manifest
+  verification, mirroring the artifact's CLI (§8: "Rehearsal takes the
+  platform name as a command-line flag").  For compatibility the
+  subcommand word is optional: ``rehearsal <manifest.pp>`` still works.
+* ``rehearsal verify-batch <dir-or-manifests...> [flags]`` — the batch
+  service: fan a fleet of manifests out to worker processes behind the
+  content-addressed verdict cache (:mod:`repro.service`).
+* ``rehearsal cache-clear [--cache-dir DIR]`` — empty the verdict
+  cache (entries keyed under old tool versions are unreachable and
+  only ever reclaimed here).
+
+Exit codes of the verify commands: 0 — verified (for the batch: every
+manifest produced a verdict, and with ``--strict`` every verdict is
+positive); 1 — a negative or missing verdict (batch: some manifest
+errored, a verdict failed under ``--strict``, or the final ``--json``
+write failed); 2 — bad invocation (unreadable manifest, no manifests
+found, invalid ``--workers``, ``--json`` pointing at a directory or
+into a missing one).
 """
 
 from __future__ import annotations
@@ -12,20 +31,13 @@ from pathlib import Path as OsPath
 
 from repro.analysis.determinism import DeterminismOptions
 from repro.core.pipeline import Rehearsal
-from repro.core.report import render_report
+from repro.core.report import render_batch_report, render_report
 from repro.resources.compiler import ModelContext
 from repro.resources.package_db import PackageDatabase
 
 
-def build_arg_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="rehearsal",
-        description=(
-            "Verify that a Puppet manifest is deterministic and idempotent "
-            "(reproduction of Shambaugh et al., PLDI 2016)."
-        ),
-    )
-    parser.add_argument("manifest", help="path to a .pp manifest file")
+def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by both commands (platform + §4 toggles)."""
     parser.add_argument(
         "--platform",
         default="ubuntu",
@@ -61,8 +73,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--timeout",
         type=float,
         default=None,
-        help="analysis timeout in seconds",
+        help="analysis timeout in seconds (per manifest)",
     )
+
+
+def _options_from_args(args: argparse.Namespace) -> DeterminismOptions:
+    return DeterminismOptions(
+        use_pruning=not args.no_pruning,
+        use_commutativity=not args.no_commutativity,
+        use_elimination=not args.no_elimination,
+        timeout_seconds=args.timeout,
+    )
+
+
+# -- rehearsal verify ---------------------------------------------------------
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal",
+        description=(
+            "Verify that a Puppet manifest is deterministic and idempotent "
+            "(reproduction of Shambaugh et al., PLDI 2016)."
+        ),
+        epilog=(
+            "To verify a whole fleet of manifests in parallel behind a "
+            "content-addressed verdict cache, use 'rehearsal verify-batch "
+            "<dir-or-manifests...>' (see 'rehearsal verify-batch --help')."
+        ),
+    )
+    parser.add_argument("manifest", help="path to a .pp manifest file")
+    _add_analysis_flags(parser)
     parser.add_argument(
         "--explain",
         action="store_true",
@@ -72,20 +113,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def run_verify(argv) -> int:
     args = build_arg_parser().parse_args(argv)
-    source = OsPath(args.manifest).read_text(encoding="utf8")
-    options = DeterminismOptions(
-        use_pruning=not args.no_pruning,
-        use_commutativity=not args.no_commutativity,
-        use_elimination=not args.no_elimination,
-        timeout_seconds=args.timeout,
-    )
+    try:
+        source = OsPath(args.manifest).read_text(encoding="utf8")
+    except (OSError, UnicodeDecodeError) as exc:
+        print(
+            f"error: cannot read manifest {args.manifest}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     context = ModelContext(
         package_db=PackageDatabase(synthesize=not args.strict_packages),
         platform=args.platform,
     )
-    tool = Rehearsal(context=context, options=options, node_name=args.node)
+    tool = Rehearsal(
+        context=context, options=_options_from_args(args), node_name=args.node
+    )
     report = tool.verify(source, name=args.manifest)
     print(render_report(report))
     if (
@@ -100,6 +144,176 @@ def main(argv=None) -> int:
         print()
         print(render_explanation(report.determinism, programs))
     return 0 if report.ok else 1
+
+
+# -- rehearsal verify-batch ---------------------------------------------------
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal verify-batch",
+        description=(
+            "Verify a fleet of Puppet manifests in parallel worker "
+            "processes, caching verdicts by content so unchanged "
+            "manifests re-verify instantly."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="manifest files and/or directories (searched recursively "
+        "for *.pp)",
+    )
+    _add_analysis_flags(parser)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="number of verification worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="verdict cache directory (default: $XDG_CACHE_HOME/rehearsal)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="verify everything from scratch; neither read nor write "
+        "the verdict cache",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the machine-readable run report to PATH "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any manifest fails verification, not only on "
+        "errors",
+    )
+    return parser
+
+
+def run_verify_batch(argv) -> int:
+    from repro.service import BatchVerifier, VerdictCache, discover_manifests
+
+    args = build_batch_parser().parse_args(argv)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.json not in (None, "-"):
+        # Fail fast (without touching the filesystem): discovering the
+        # path is unwritable only after the whole fleet has been
+        # verified would waste the entire run.
+        json_path = OsPath(args.json)
+        problem = None
+        if json_path.is_dir():
+            problem = "path is a directory"
+        elif not json_path.parent.is_dir():
+            problem = f"parent directory {json_path.parent} does not exist"
+        if problem is not None:
+            print(
+                f"error: cannot write --json {args.json}: {problem}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = []
+    for target in args.targets:
+        try:
+            paths.extend(discover_manifests(target))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    # Overlapping targets (a directory plus a file inside it, possibly
+    # spelled differently) must not produce duplicate rows or inflated
+    # counts.
+    seen = set()
+    unique_paths = []
+    for path in paths:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique_paths.append(path)
+    paths = unique_paths
+    if not paths:
+        print(
+            f"error: no *.pp manifests found under: {', '.join(args.targets)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    verifier = BatchVerifier(
+        options=_options_from_args(args),
+        platform=args.platform,
+        node_name=args.node,
+        synthesize_packages=not args.strict_packages,
+        workers=args.workers,
+        cache=None if args.no_cache else VerdictCache(args.cache_dir),
+    )
+    report = verifier.verify_paths(paths)
+
+    print(render_batch_report(report))
+    if args.json == "-":
+        print(report.to_json())
+    elif args.json is not None:
+        try:
+            OsPath(args.json).write_text(
+                report.to_json() + "\n", encoding="utf8"
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write --json {args.json}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+
+    if report.error_count:
+        return 1
+    if args.strict and report.failed_count:
+        return 1
+    return 0
+
+
+# -- rehearsal cache-clear ----------------------------------------------------
+
+
+def run_cache_clear(argv) -> int:
+    from repro.service import VerdictCache
+
+    parser = argparse.ArgumentParser(
+        prog="rehearsal cache-clear",
+        description="Delete every entry from the verdict cache.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="verdict cache directory (default: $XDG_CACHE_HOME/rehearsal)",
+    )
+    args = parser.parse_args(argv)
+    cache = VerdictCache(args.cache_dir)
+    removed = cache.clear()
+    print(f"removed {removed} cached verdict(s) from {cache.directory}")
+    return 0
+
+
+# -- dispatch -----------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "verify-batch":
+        return run_verify_batch(argv[1:])
+    if argv and argv[0] == "cache-clear":
+        return run_cache_clear(argv[1:])
+    if argv and argv[0] == "verify":
+        argv = argv[1:]
+    return run_verify(argv)
 
 
 if __name__ == "__main__":

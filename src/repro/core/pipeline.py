@@ -43,6 +43,8 @@ class VerificationReport:
     determinism: Optional[DeterminismResult] = None
     idempotence: Optional[IdempotenceResult] = None
     error: Optional[str] = None
+    error_transient: bool = False  # load-dependent (wall-clock timeout),
+    # not a function of the manifest — never cached
     total_seconds: float = 0.0
 
     @property
@@ -52,6 +54,18 @@ class VerificationReport:
             and bool(self.deterministic)
             and bool(self.idempotent)
         )
+
+    @property
+    def solver_seconds(self) -> float:
+        """Time spent encoding and solving (excludes parse/compile):
+        the part of a verification the verdict cache saves on a hit."""
+        seconds = 0.0
+        if self.determinism is not None:
+            stats = self.determinism.stats
+            seconds += stats.encode_seconds + stats.solve_seconds
+        if self.idempotence is not None:
+            seconds += self.idempotence.total_seconds
+        return seconds
 
 
 class Rehearsal:
@@ -164,16 +178,25 @@ class Rehearsal:
             report.total_seconds = time.perf_counter() - start
             return report
         report.resource_count = graph.number_of_nodes()
-        det = check_determinism(graph, programs, self.options)
-        report.determinism = det
-        report.deterministic = det.deterministic
-        if det.deterministic:
-            idem = check_idempotence(
-                graph,
-                programs,
-                well_formed_initial=self.options.well_formed_initial,
+        try:
+            det = check_determinism(graph, programs, self.options)
+            report.determinism = det
+            report.deterministic = det.deterministic
+            if det.deterministic:
+                idem = check_idempotence(
+                    graph,
+                    programs,
+                    well_formed_initial=self.options.well_formed_initial,
+                )
+                report.idempotence = idem
+                report.idempotent = idem.idempotent
+        except ReproError as exc:
+            # Notably AnalysisBudgetExceeded: a blown budget is a
+            # reportable verdict ("could not decide within limits"),
+            # not a crash.
+            report.error = str(exc)
+            report.error_transient = bool(
+                getattr(exc, "wall_clock", False)
             )
-            report.idempotence = idem
-            report.idempotent = idem.idempotent
         report.total_seconds = time.perf_counter() - start
         return report

@@ -87,6 +87,71 @@ def render_report(report: VerificationReport) -> str:
     return "\n".join(lines)
 
 
+def render_table(header, rows) -> str:
+    """Plain-text column-aligned table (shared by the batch summary
+    and the benchmark figures)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(
+            len(str(header[i])),
+            max((len(row[i]) for row in cells), default=0),
+        )
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_batch_report(report) -> str:
+    """Text summary table for a :class:`repro.service.BatchReport`."""
+    from repro.service.schema import batch_table_rows
+
+    header = [
+        "manifest",
+        "status",
+        "deterministic",
+        "idempotent",
+        "resources",
+        "time",
+        "cache",
+    ]
+    cache_notes = ""
+    if report.cache.corrupted:
+        cache_notes += (
+            f" / {report.cache.corrupted} corrupted entr"
+            + ("y" if report.cache.corrupted == 1 else "ies")
+            + " recovered"
+        )
+    if report.cache.read_errors:
+        cache_notes += (
+            f" / {report.cache.read_errors} lookup(s) failed on "
+            "storage errors"
+        )
+    if report.cache.write_errors:
+        cache_notes += (
+            f" / {report.cache.write_errors} store(s) not persisted "
+            "(cache writes disabled after first failure)"
+        )
+    summary = (
+        f"{len(report.results)} manifests: {report.ok_count} ok, "
+        f"{report.failed_count} failed, {report.error_count} errors "
+        f"[{report.workers} worker(s), "
+        f"cache {report.cache.hits} hit(s) / {report.cache.misses} miss(es)"
+        f"{cache_notes}; solver {report.solver_seconds:.3f}s; "
+        f"total {report.total_seconds:.3f}s]"
+    )
+    return "\n".join(
+        [render_table(header, batch_table_rows(report)), "", summary]
+    )
+
+
 def _describe_outcome(outcome) -> str:
     from repro.fs.semantics import ERROR
 

@@ -157,6 +157,22 @@ def load_source(name: str) -> str:
         raise CorpusManifestMissing(name, filename, str(package)) from None
 
 
+def manifest_dir():
+    """Path to the on-disk directory holding every corpus manifest —
+    the natural target for ``rehearsal verify-batch``."""
+    return importlib_resources.files("repro.corpus") / "manifests"
+
+
+def manifest_paths() -> List[str]:
+    """Sorted paths of all 19 corpus manifests (13 benchmarks + 6
+    fixed variants)."""
+    directory = manifest_dir()
+    names = [CASES[n].filename for n in BENCHMARK_NAMES] + sorted(
+        FIXED_VARIANTS.values()
+    )
+    return [str(directory / filename) for filename in sorted(names)]
+
+
 def idempotence_subject(name: str) -> str:
     """The manifest used for a benchmark's idempotence check: the
     paper checks fixed versions of the non-deterministic benchmarks

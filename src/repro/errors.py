@@ -68,9 +68,19 @@ class AnalysisBudgetExceeded(ReproError):
     Models the ten-minute timeout in the paper's Fig. 11 experiments.
     """
 
-    def __init__(self, message: str, elapsed: float = 0.0, branches: int = 0):
+    def __init__(
+        self,
+        message: str,
+        elapsed: float = 0.0,
+        branches: int = 0,
+        wall_clock: bool = False,
+    ):
         self.elapsed = elapsed
         self.branches = branches
+        # Wall-clock timeouts depend on machine load, unlike the
+        # deterministic exploration budget; the verdict cache must not
+        # persist them.
+        self.wall_clock = wall_clock
         super().__init__(message)
 
 

@@ -1,0 +1,42 @@
+"""Batch-verification service: verify fleets of manifests in parallel
+behind a content-addressed verdict cache.
+
+* :class:`BatchVerifier` / :func:`verify_batch` — the orchestrator
+  (directory or path list → :class:`BatchReport`).
+* :class:`VerdictCache` — SHA-256-keyed verdict store with
+  corrupted-entry recovery.
+* :class:`ManifestResult`, :class:`BatchReport` — the machine-readable
+  run-report schema (``rehearsal verify-batch --json``).
+"""
+
+from repro.service.cache import (
+    VerdictCache,
+    cache_key,
+    default_cache_dir,
+    source_digest,
+)
+from repro.service.orchestrator import (
+    BatchVerifier,
+    discover_manifests,
+    verify_batch,
+)
+from repro.service.schema import (
+    BatchReport,
+    CacheStats,
+    ManifestResult,
+    batch_table_rows,
+)
+
+__all__ = [
+    "BatchReport",
+    "BatchVerifier",
+    "CacheStats",
+    "ManifestResult",
+    "VerdictCache",
+    "batch_table_rows",
+    "cache_key",
+    "default_cache_dir",
+    "discover_manifests",
+    "source_digest",
+    "verify_batch",
+]

@@ -1,0 +1,221 @@
+"""Machine-readable schema for batch-verification runs.
+
+A batch run produces one :class:`ManifestResult` per manifest and one
+aggregating :class:`BatchReport`.  Both are plain-data objects with a
+stable dict/JSON form: workers ship ``ManifestResult`` dicts across the
+process boundary, the verdict cache persists them to disk, and the CLI
+writes the whole :class:`BatchReport` as the ``--json`` run report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import VerificationReport
+
+SCHEMA_VERSION = 1
+
+#: ``ManifestResult.status`` values.
+STATUS_OK = "ok"  # verified: deterministic and idempotent
+STATUS_FAILED = "failed"  # verified: at least one verdict is negative
+STATUS_ERROR = "error"  # no verdict: compile error or worker crash
+
+
+@dataclass
+class ManifestResult:
+    """The verdict for one manifest in a batch run."""
+
+    name: str
+    status: str
+    deterministic: Optional[bool] = None
+    idempotent: Optional[bool] = None
+    resource_count: int = 0
+    error: Optional[str] = None
+    error_transient: bool = False  # load-dependent failure; never cached
+    seconds: float = 0.0
+    solver_seconds: float = 0.0
+    sha256: str = ""
+    cache_key: str = ""
+    cached: bool = False
+    deduplicated: bool = False  # verdict copied from an identical manifest
+    # verified earlier in the same batch
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @classmethod
+    def from_report(
+        cls,
+        report: VerificationReport,
+        sha256: str = "",
+        cache_key: str = "",
+    ) -> "ManifestResult":
+        if report.error is not None:
+            status = STATUS_ERROR
+        elif report.ok:
+            status = STATUS_OK
+        else:
+            status = STATUS_FAILED
+        return cls(
+            name=report.manifest_name,
+            status=status,
+            deterministic=report.deterministic,
+            idempotent=report.idempotent,
+            resource_count=report.resource_count,
+            error=report.error,
+            error_transient=report.error_transient,
+            seconds=report.total_seconds,
+            solver_seconds=report.solver_seconds,
+            sha256=sha256,
+            cache_key=cache_key,
+        )
+
+    @classmethod
+    def crashed(cls, name: str, message: str) -> "ManifestResult":
+        """A result for a manifest whose worker died before reporting."""
+        return cls(name=name, status=STATUS_ERROR, error=message)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ManifestResult":
+        if not isinstance(data, dict):
+            raise ValueError(f"manifest result must be a dict, got {data!r}")
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown manifest-result keys: {sorted(unknown)}")
+        result = cls(**data)
+        if result.status not in (STATUS_OK, STATUS_FAILED, STATUS_ERROR):
+            raise ValueError(f"unknown status {result.status!r}")
+        return result
+
+
+@dataclass
+class CacheStats:
+    """Cache traffic observed during one batch run."""
+
+    enabled: bool = False
+    directory: Optional[str] = None
+    hits: int = 0
+    misses: int = 0
+    corrupted: int = 0  # entries found unreadable and recovered from
+    read_errors: int = 0  # lookups that failed on storage errors
+    write_errors: int = 0  # failed stores (unwritable cache directory)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class BatchReport:
+    """Aggregate of one batch-verification run."""
+
+    results: List[ManifestResult] = field(default_factory=list)
+    workers: int = 1
+    total_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+    version: str = ""
+    platform: str = "ubuntu"
+
+    # -- aggregate views ---------------------------------------------------
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.results if r.status == STATUS_OK)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for r in self.results if r.status == STATUS_FAILED)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for r in self.results if r.status == STATUS_ERROR)
+
+    @property
+    def solver_seconds(self) -> float:
+        return sum(r.solver_seconds for r in self.results)
+
+    def result_for(self, name: str) -> ManifestResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "version": self.version,
+            "platform": self.platform,
+            "workers": self.workers,
+            "total_seconds": self.total_seconds,
+            "summary": {
+                "manifests": len(self.results),
+                "ok": self.ok_count,
+                "failed": self.failed_count,
+                "errors": self.error_count,
+                "solver_seconds": self.solver_seconds,
+            },
+            "cache": self.cache.to_dict(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchReport":
+        cache = CacheStats(**data.get("cache", {}))
+        return cls(
+            results=[ManifestResult.from_dict(r) for r in data["results"]],
+            workers=data.get("workers", 1),
+            total_seconds=data.get("total_seconds", 0.0),
+            cache=cache,
+            version=data.get("version", ""),
+            platform=data.get("platform", "ubuntu"),
+        )
+
+
+_STATUS_WORD: Dict[str, str] = {
+    STATUS_OK: "ok",
+    STATUS_FAILED: "FAILED",
+    STATUS_ERROR: "ERROR",
+}
+
+
+def _verdict_cell(value: Optional[bool]) -> str:
+    if value is None:
+        return "-"
+    return "yes" if value else "NO"
+
+
+def batch_table_rows(report: BatchReport) -> List[List[str]]:
+    """The summary table as rows of cells (header excluded)."""
+    rows = []
+    for r in report.results:
+        rows.append(
+            [
+                r.name,
+                _STATUS_WORD.get(r.status, r.status),
+                _verdict_cell(r.deterministic),
+                _verdict_cell(r.idempotent),
+                str(r.resource_count),
+                f"{r.seconds:.3f}s",
+                (
+                    "hit"
+                    if r.cached
+                    else "dup"
+                    if r.deduplicated
+                    else "miss"
+                    if report.cache.enabled
+                    else "-"
+                ),
+            ]
+        )
+    return rows

@@ -1,0 +1,67 @@
+"""The documentation must not rot: tools/check_links.py and its
+verdict on the real tree."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+
+class TestLinkExtraction:
+    def test_inline_links_found(self):
+        text = "see [a](docs/a.md) and [b](../b.md#frag) plus ![img](x.png)"
+        assert check_links.extract_links(text) == [
+            "docs/a.md",
+            "../b.md#frag",
+            "x.png",
+        ]
+
+    def test_code_fences_are_ignored(self):
+        text = "```\n[not a link](nope.md)\n```\n[real](yes.md)"
+        assert check_links.extract_links(text) == ["yes.md"]
+
+    def test_link_text_may_contain_carets(self):
+        assert check_links.extract_links("[O(n^2) notes](big-o.md)") == [
+            "big-o.md"
+        ]
+
+
+class TestBrokenLinkDetection:
+    def test_missing_target_is_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[gone](missing.md)")
+        problems = check_links.broken_links(doc, tmp_path)
+        assert len(problems) == 1
+        assert problems[0][0] == "missing.md"
+
+    def test_existing_target_and_externals_pass(self, tmp_path):
+        (tmp_path / "other.md").write_text("x")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](other.md) [anchor](other.md#sec) [web](https://x.example) "
+            "[page](#local)"
+        )
+        assert check_links.broken_links(doc, tmp_path) == []
+
+    def test_escaping_the_repo_is_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[out](../../etc/passwd)")
+        problems = check_links.broken_links(doc, tmp_path)
+        assert problems and problems[0][1] == "escapes the repository"
+
+
+class TestRepositoryDocs:
+    def test_every_relative_link_in_this_repo_resolves(self):
+        assert check_links.check_tree(REPO_ROOT) == []
+
+    def test_the_documents_exist(self):
+        names = {d.name for d in check_links.iter_documents(REPO_ROOT)}
+        assert {
+            "README.md",
+            "tutorial.md",
+            "api-reference.md",
+            "architecture.md",
+        } <= names

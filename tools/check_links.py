@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in the repo's markdown must
+resolve to a real file or directory.
+
+Scans README.md, DESIGN.md, CHANGES.md, ROADMAP.md and everything
+under docs/, extracts inline markdown links ``[text](target)``, and
+verifies each relative target exists (external ``http(s)``/``mailto``
+URLs and pure in-page ``#anchors`` are skipped; a ``#fragment`` suffix
+on a file link is stripped before checking).  Exits non-zero listing
+every broken link, so CI fails the moment documentation rots.
+
+Run:  python tools/check_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# Inline links only; reference-style ([text][ref]) is not used in this
+# repo.  Deliberately does not match images' surrounding ``!`` — an
+# image link is checked the same way.
+_LINK_RE = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+DEFAULT_DOCUMENTS = ("README.md", "DESIGN.md", "CHANGES.md", "ROADMAP.md")
+
+
+def iter_documents(root: Path) -> List[Path]:
+    docs = [root / name for name in DEFAULT_DOCUMENTS if (root / name).is_file()]
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        docs.extend(sorted(docs_dir.rglob("*.md")))
+    return docs
+
+
+def extract_links(text: str) -> List[str]:
+    links = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(_LINK_RE.findall(line))
+    return links
+
+
+def broken_links(document: Path, root: Path) -> List[Tuple[str, str]]:
+    """(target, reason) for every unresolvable relative link."""
+    problems = []
+    for target in extract_links(document.read_text(encoding="utf8")):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (document.parent / path_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            problems.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            problems.append((target, f"no such file: {resolved}"))
+    return problems
+
+
+def check_tree(root: Path) -> List[str]:
+    """Human-readable problem lines for the whole documentation set."""
+    problems = []
+    documents = iter_documents(root)
+    if not documents:
+        problems.append(f"no markdown documents found under {root}")
+    for document in documents:
+        for target, reason in broken_links(document, root):
+            problems.append(
+                f"{document.relative_to(root)}: broken link ({target}): "
+                f"{reason}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check_tree(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        count = len(iter_documents(root))
+        print(f"docs link check: {count} documents, all links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
