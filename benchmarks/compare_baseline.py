@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark figure regresses against the baseline.
+
+Usage:
+    python benchmarks/compare_baseline.py BASELINE.json CURRENT.json
+        [--factor 2.0] [--min-abs 0.25] [--calibrate fig11a]
+
+Both files are ``run_figures.py --json`` reports.  The committed
+baseline was recorded on a developer machine and CI runs on whatever
+runner GitHub hands out, so raw wall-clock comparison would conflate
+machine speed with code regressions.  The comparison therefore
+*calibrates* first: the ``--calibrate`` figure (default ``fig11a`` —
+pure compile/pruning work that never touches the SAT solver) measures
+the machine-speed ratio, and every current figure is rescaled by it
+before judging.  A uniformly slow runner cancels out; a regression in
+the solving pipeline does not (it leaves the calibration figure
+unchanged).  The flip side, stated plainly: a regression confined to
+the calibration figure itself is absorbed — tier-1's smoke run still
+exercises it, and the calibration ratio is printed on every run so a
+drifting machine factor is visible in the logs.
+
+After calibration a figure *regresses* when its seconds exceed
+``baseline * factor`` **and** the absolute slowdown exceeds
+``--min-abs`` seconds — the second guard keeps millisecond-scale
+figures from tripping the job on scheduler noise while staying small
+enough (0.25s default) that the factor, not the absolute guard,
+decides for every corpus-scale figure.  A figure present in the
+baseline but missing from the current run also fails (a silently
+dropped benchmark is a regression of coverage, not a speedup).
+
+Exit codes: 0 — no regression; 1 — regression or missing figure;
+2 — unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf8") as handle:
+        report = json.load(handle)
+    figures = report.get("figures")
+    if not isinstance(figures, dict):
+        raise ValueError(f"{path}: no 'figures' object")
+    return figures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline", help="committed baseline JSON report")
+    parser.add_argument("current", help="freshly produced JSON report")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor per figure (default: 2.0)",
+    )
+    parser.add_argument(
+        "--min-abs",
+        type=float,
+        default=0.25,
+        help="ignore regressions smaller than this many absolute "
+        "(calibrated) seconds (default: 0.25)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        default="fig11a",
+        metavar="KEY",
+        help="figure used to measure the machine-speed ratio between "
+        "the baseline machine and this one; '' disables calibration "
+        "(default: fig11a, which never touches the SAT solver)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    scale = 1.0
+    if args.calibrate:
+        base_cal = float(
+            baseline.get(args.calibrate, {}).get("seconds", 0.0)
+        )
+        cur_cal = float(
+            current.get(args.calibrate, {}).get("seconds", 0.0)
+        )
+        if base_cal > 0 and cur_cal > 0:
+            scale = base_cal / cur_cal
+            print(
+                f"calibration ({args.calibrate}): baseline "
+                f"{base_cal:.3f}s, here {cur_cal:.3f}s -> machine "
+                f"factor {1 / scale:.2f}x"
+            )
+        else:
+            print(
+                f"calibration figure {args.calibrate!r} unavailable; "
+                "comparing raw wall clock"
+            )
+
+    failures = []
+    width = max((len(k) for k in baseline), default=10)
+    print(f"{'figure'.ljust(width)}  {'baseline':>9}  {'current':>9}  verdict")
+    for key in sorted(baseline):
+        base_seconds = float(baseline[key].get("seconds", 0.0))
+        entry = current.get(key)
+        if entry is None:
+            failures.append(f"figure {key!r} missing from current run")
+            print(f"{key.ljust(width)}  {base_seconds:8.2f}s   MISSING   FAIL")
+            continue
+        cur_seconds = float(entry.get("seconds", 0.0)) * scale
+        limit = base_seconds * args.factor
+        regressed = (
+            cur_seconds > limit
+            and cur_seconds - base_seconds > args.min_abs
+        )
+        verdict = "FAIL" if regressed else "ok"
+        if key == args.calibrate:
+            verdict = "calib"
+        print(
+            f"{key.ljust(width)}  {base_seconds:8.2f}s  {cur_seconds:8.2f}s  "
+            f"{verdict}"
+        )
+        if regressed and key != args.calibrate:
+            failures.append(
+                f"figure {key!r}: {cur_seconds:.2f}s (calibrated) "
+                f"exceeds {args.factor:.1f}x baseline "
+                f"({base_seconds:.2f}s)"
+            )
+    for key in sorted(set(current) - set(baseline)):
+        print(
+            f"{key.ljust(width)}  {'---':>9}  "
+            f"{float(current[key].get('seconds', 0.0)) * scale:8.2f}s  new"
+        )
+
+    if failures:
+        print("\nbenchmark regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

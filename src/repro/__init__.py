@@ -22,7 +22,7 @@ Public API tour:
 
 # The service package reads repro.__version__ (it keys the verdict
 # cache), so the version must be bound before repro.service imports.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.analysis.determinism import DeterminismOptions, DeterminismResult
 from repro.analysis.idempotence import IdempotenceResult

@@ -43,6 +43,7 @@ from repro.analysis.invariants import (
     ensures_file,
     ensures_present,
 )
+from repro.analysis.localize import RaceReport, localize_race
 from repro.analysis.pruning import PruneReport, prune, prune_manifest
 from repro.analysis.repair import RepairResult, synthesize_repair
 
@@ -61,6 +62,7 @@ __all__ = [
     "IdempotenceResult",
     "InvariantResult",
     "PruneReport",
+    "RaceReport",
     "RepairResult",
     "TOP",
     "WriteProfile",
@@ -79,6 +81,7 @@ __all__ = [
     "eliminate_resources",
     "footprint",
     "footprints_commute",
+    "localize_race",
     "prune",
     "prune_manifest",
     "synthesize_repair",

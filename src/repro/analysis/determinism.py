@@ -26,6 +26,7 @@ import networkx as nx
 
 from repro.analysis.commutativity import Footprint, footprint, footprints_commute
 from repro.analysis.elimination import EliminationReport, eliminate_resources
+from repro.analysis.localize import RaceReport, localize_race
 from repro.analysis.pruning import PruneReport, prune_manifest
 from repro.errors import AnalysisBudgetExceeded
 from repro.fs import FileSystem, eval_expr, seq
@@ -33,7 +34,7 @@ from repro.fs import syntax as fx
 from repro.logic.terms import TermBank
 from repro.smt.encoder import apply_expr
 from repro.smt.model import decode_filesystem
-from repro.smt.query import Query
+from repro.smt.query import IncrementalQuery
 from repro.smt.state import (
     SymbolicState,
     initial_constraints,
@@ -68,10 +69,20 @@ class DeterminismStats:
     resources_after_elimination: int = 0
     paths_before_pruning: int = 0
     paths_after_pruning: int = 0
+    #: Stateful paths written by two or more resources (from
+    #: :attr:`repro.analysis.pruning.PruneReport.writers_by_path`) —
+    #: the contention candidates race localization can name.
+    contended_paths: int = 0
     modeled_paths: int = 0
     branches_explored: int = 0
     sat_vars: int = 0
     sat_clauses: int = 0
+    #: Assumption-based checks issued on the shared solver: one per
+    #: candidate order pair until the first diverging pair (plus the
+    #: localization checks, counted separately in the race report).
+    sat_queries: int = 0
+    #: Variables removed by CNF preprocessing before search.
+    vars_eliminated: int = 0
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -85,6 +96,10 @@ class DeterminismResult:
     witness_fs: Optional[FileSystem] = None
     witness_orders: Optional[Tuple[List[NodeId], List[NodeId]]] = None
     witness_outcomes: Optional[Tuple[object, object]] = None
+    #: For non-deterministic manifests: the racing resource pair and
+    #: contended path recovered from the unsat core of the equality
+    #: assumptions (see :mod:`repro.analysis.localize`).
+    race: Optional[RaceReport] = None
 
     def __bool__(self) -> bool:
         return self.deterministic
@@ -219,17 +234,26 @@ def check_determinism(
         pruned_exprs, prune_report = prune_manifest(exprs)
         stats.paths_before_pruning = prune_report.stateful_before
         stats.paths_after_pruning = prune_report.stateful_after
+        stats.contended_paths = sum(
+            1
+            for writers in prune_report.writers_by_path.values()
+            if len(writers) > 1
+        )
         for n, e in zip(node_list, pruned_exprs):
             work_programs[n] = e
     else:
         from repro.analysis.commutativity import footprint as _fp
 
-        stateful = set()
+        writer_counts: Dict[object, int] = {}
         for e in exprs:
             fp = _fp(e)
-            stateful |= fp.writes | fp.dir_ensures
-        stats.paths_before_pruning = len(stateful)
-        stats.paths_after_pruning = len(stateful)
+            for p in fp.writes | fp.dir_ensures:
+                writer_counts[p] = writer_counts.get(p, 0) + 1
+        stats.paths_before_pruning = len(writer_counts)
+        stats.paths_after_pruning = len(writer_counts)
+        stats.contended_paths = sum(
+            1 for count in writer_counts.values() if count > 1
+        )
 
     if options.use_simplification:
         from repro.fs.rewrite import simplify
@@ -260,28 +284,60 @@ def check_determinism(
         stats.total_seconds = time.perf_counter() - start
         return DeterminismResult(True, stats)
 
+    # All order-pair queries for this manifest share one incrementally
+    # reused solver: the initial-state constraints are asserted once,
+    # each pair's state difference is guarded by a selector variable,
+    # and every check retains the clauses (and learned clauses) of the
+    # previous ones.  Pairs are encoded lazily — a diverging pair ends
+    # the loop, and anything learned refuting earlier pairs carries
+    # over to later ones.
     base_state, base_order = finals[0]
-    differs = [
-        states_differ(bank, state, base_state, domains.paths)
-        for state, _ in finals[1:]
-    ]
-    goal = bank.and_(
+    query = IncrementalQuery(bank)
+    query.assert_term(
         initial_constraints(
             bank, domains, well_formed=options.well_formed_initial
-        ),
-        bank.or_(*differs),
+        )
     )
     stats.encode_seconds = time.perf_counter() - encode_start
 
-    query = Query(bank)
-    query.assert_term(goal)
-    result = query.check(max_conflicts=options.max_conflicts)
-    stats.sat_vars = result.num_vars
-    stats.sat_clauses = result.num_clauses
-    stats.solve_seconds = result.solve_seconds
+    result = None
+    sat_index = None
+    sat_selector = None
+    for i in range(1, len(finals)):
+        if deadline is not None and time.perf_counter() > deadline:
+            raise AnalysisBudgetExceeded(
+                "determinism check timed out",
+                branches=explorer.branches,
+                wall_clock=True,
+            )
+        state_i, _ = finals[i]
+        encode_start = time.perf_counter()
+        differ = states_differ(bank, state_i, base_state, domains.paths)
+        if differ is bank.FALSE:
+            stats.encode_seconds += time.perf_counter() - encode_start
+            continue  # symbolically identical final states
+        selector = query.add_selector(f"pair${i}", differ)
+        stats.encode_seconds += time.perf_counter() - encode_start
+        result = query.check(
+            assumptions=[selector], max_conflicts=options.max_conflicts
+        )
+        stats.sat_queries += 1
+        if result.sat:
+            sat_index = i
+            sat_selector = selector
+            break
+        if not result.core_lits:
+            # The initial-state constraints alone are unsatisfiable:
+            # no pair can ever diverge, skip the remaining queries.
+            break
+
+    stats.sat_vars = query.cnf.num_vars
+    stats.sat_clauses = len(query.cnf.clauses)
+    stats.solve_seconds = query.solve_seconds
+    stats.vars_eliminated = result.eliminated_vars if result else 0
     stats.total_seconds = time.perf_counter() - start
 
-    if not result.sat:
+    if result is None or not result.sat:
         return DeterminismResult(True, stats)
 
     witness = decode_filesystem(domains, result.named_model)
@@ -307,6 +363,23 @@ def check_determinism(
         retry.stats.elimination_fallback = True
         retry.stats.total_seconds += stats.total_seconds
         return retry
+    # Localize only once the verdict is final (the elimination
+    # fallback above would discard this work and redo the analysis).
+    race = localize_race(
+        bank,
+        domains,
+        base_state,
+        finals[sat_index][0],
+        base_order,
+        finals[sat_index][1],
+        work_graph,
+        {n: programs[n] for n in graph.nodes},
+        query,
+        sat_selector,
+        max_conflicts=options.max_conflicts,
+        deadline=deadline,
+    )
+    stats.solve_seconds = query.solve_seconds
     outcome_pair = None
     order_pair = None
     if orders is not None:
@@ -318,6 +391,7 @@ def check_determinism(
         witness_fs=witness,
         witness_orders=order_pair,
         witness_outcomes=outcome_pair,
+        race=race,
     )
 
 

@@ -1,0 +1,292 @@
+"""Unsat-core fault localization for non-deterministic manifests.
+
+A raw SAT verdict ("the manifest is non-deterministic, here is a
+witness filesystem") leaves the user to reconstruct *which* resource
+interaction actually races — the paper's users did this by hand (§6).
+This module automates it with the assumption interface of the
+incremental solver:
+
+1. Assert the initial-state constraints **and** the state difference of
+   the diverging pair of execution orders (known satisfiable — that is
+   the non-determinism witness).
+2. For every modeled path ``p``, register a guarded *equality*
+   assumption ``eq$p`` ("the two orders agree on ``p``"), plus one for
+   the error status.
+3. Check with **all** equality assumptions enabled.  The conjunction is
+   unsatisfiable by construction (the orders do diverge), and the final
+   conflict yields an unsat core: a subset of the equalities that
+   cannot hold together with the divergence.
+4. Shrink the core by iterated re-solving (each pass re-checks with
+   only the previous core assumed; the incremental solver reuses all
+   learned clauses, so this is nearly free), then map the surviving
+   ``eq$p`` assumptions back to filesystem paths and to the pair of
+   unordered resources whose footprints contend on them.
+
+The result names the racing resource pair and the contended path —
+"File[/etc/ntp.conf] and Package[ntp] race on /etc/ntp.conf" — which
+``rehearsal verify --explain`` and the batch-service JSON rows surface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.analysis.commutativity import Footprint, footprint
+from repro.errors import SolverError
+from repro.fs import syntax as fx
+from repro.fs.paths import Path
+from repro.logic.terms import TermBank
+from repro.smt.query import IncrementalQuery
+from repro.smt.state import SymbolicState
+from repro.smt.values import PathDomains
+
+NodeId = Hashable
+
+#: Cores at or below this size are minimized by deletion (one re-solve
+#: per member); larger cores only get the cheap iterated shrinking.
+DELETION_MINIMIZE_LIMIT = 8
+
+
+@dataclass
+class RaceReport:
+    """Where the non-determinism comes from."""
+
+    #: The two resources whose relative order changes the outcome.
+    resource_a: NodeId
+    resource_b: NodeId
+    #: The contended path both of them touch (one of ``core_paths``),
+    #: None when the divergence is purely an error-status change with
+    #: no single contended path identified.
+    path: Optional[Path]
+    #: Every path named by the minimized unsat core.
+    core_paths: List[Path] = field(default_factory=list)
+    #: True when the orders disagree on whether the run errors.
+    ok_divergence: bool = False
+    #: Assumption-query statistics (each shrink pass is one check on
+    #: the shared solver).
+    checks: int = 0
+
+    def describe(self) -> str:
+        on = (
+            f"race on {self.path}"
+            if self.path is not None
+            else "diverge on error status"
+        )
+        return f"{self.resource_a} and {self.resource_b} {on}"
+
+
+def localize_race(
+    bank: TermBank,
+    domains: PathDomains,
+    base: SymbolicState,
+    other: SymbolicState,
+    base_order: Sequence[NodeId],
+    other_order: Sequence[NodeId],
+    graph: "nx.DiGraph",
+    programs: Dict[NodeId, fx.Expr],
+    query: IncrementalQuery,
+    pair_selector: int,
+    max_conflicts: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> Optional[RaceReport]:
+    """Map a diverging pair of symbolic final states to the racing
+    resource pair and contended path; see the module docstring.
+
+    ``query`` is the determinacy check's shared incremental solver and
+    ``pair_selector`` the selector of the diverging pair's difference
+    term, so localization rides on everything already encoded and
+    learned.  Localization respects the analysis budget: each check is
+    bounded by ``max_conflicts``, and once ``deadline`` (a
+    ``time.perf_counter()`` instant) passes, core minimization stops
+    with the best core found so far.  Returns None when localization
+    cannot name a pair (e.g. single-resource divergence after
+    elimination) or when the budget is exhausted before the first
+    unsat core exists.
+    """
+    checks_before = query.checks
+    selectors: Dict[int, Optional[Path]] = {}
+    assumptions: List[int] = [pair_selector]
+    ok_eq = bank.iff(base.ok, other.ok)
+    s_ok = query.add_selector("eq$ok", ok_eq)
+    selectors[s_ok] = None
+    assumptions.append(s_ok)
+    for path in domains.paths:
+        v1 = base.value(path)
+        v2 = other.value(path)
+        if v1 is v2:
+            continue  # identical symbolic value: cannot be in any core
+        s = query.add_selector(f"eq${path}", v1.equals(bank, v2))
+        selectors[s] = path
+        assumptions.append(s)
+
+    try:
+        result = query.check(
+            assumptions=assumptions, max_conflicts=max_conflicts
+        )
+    except SolverError:
+        return None  # conflict budget exhausted: localization is
+        # best-effort diagnostics, never a crash
+    if result.sat:
+        # The equalities are jointly consistent with the difference —
+        # only possible if the "difference" was over paths outside the
+        # domain; nothing to localize.
+        return None
+    core = _minimize_core(
+        query,
+        result.core_lits,
+        keep=pair_selector,
+        max_conflicts=max_conflicts,
+        deadline=deadline,
+    )
+
+    core_paths = sorted(
+        {
+            selectors[s]
+            for s in core
+            if selectors.get(s) is not None
+        },
+        key=str,
+    )
+    ok_divergence = s_ok in core
+    pair = _pick_pair(
+        core_paths, base_order, other_order, graph, programs
+    )
+    if pair is None:
+        return None
+    resource_a, resource_b, path = pair
+    return RaceReport(
+        resource_a=resource_a,
+        resource_b=resource_b,
+        path=path,
+        core_paths=list(core_paths),
+        ok_divergence=ok_divergence,
+        checks=query.checks - checks_before,
+    )
+
+
+def _minimize_core(
+    query: IncrementalQuery,
+    core: List[int],
+    keep: int,
+    max_conflicts: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> List[int]:
+    """Shrink an unsat core on the shared solver.
+
+    First iterate "re-solve with the core as the only assumptions"
+    until it stops shrinking (final-conflict analysis often tightens),
+    then, for small cores, try dropping each member except ``keep``
+    (deletion-based minimization).  Every check reuses the solver's
+    learned clauses, so each pass is nearly free.  A passed
+    ``deadline`` or an exhausted conflict budget ends minimization
+    early with the best (still valid) core found so far.
+    """
+
+    def out_of_budget() -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
+    if keep not in core:
+        core = [keep] + core
+    try:
+        while True:
+            if out_of_budget():
+                return core
+            result = query.check(
+                assumptions=core, max_conflicts=max_conflicts
+            )
+            if result.sat or not result.core_lits:
+                return core  # defensive: keep the last known core
+            new_core = result.core_lits
+            if keep not in new_core:
+                new_core = [keep] + new_core
+            if len(new_core) >= len(core):
+                core = new_core
+                break
+            core = new_core
+        if len(core) > DELETION_MINIMIZE_LIMIT:
+            return core
+        i = 0
+        while i < len(core):
+            if core[i] == keep:
+                i += 1
+                continue
+            if out_of_budget():
+                return core
+            candidate = core[:i] + core[i + 1 :]
+            result = query.check(
+                assumptions=candidate, max_conflicts=max_conflicts
+            )
+            if result.sat:
+                i += 1  # member is essential
+            else:
+                core = result.core_lits or candidate
+                if keep not in core:
+                    core = [keep] + core
+                i = 0  # core may have been reordered; rescan
+    except SolverError:
+        pass  # conflict budget exhausted mid-minimization
+    return core
+
+
+def _pick_pair(
+    core_paths: Sequence[Path],
+    base_order: Sequence[NodeId],
+    other_order: Sequence[NodeId],
+    graph: "nx.DiGraph",
+    programs: Dict[NodeId, fx.Expr],
+) -> Optional[Tuple[NodeId, NodeId, Optional[Path]]]:
+    """The racing pair: two resources that swap relative order between
+    the two diverging linearizations, are unordered in the dependency
+    graph, and have conflicting footprints — preferring pairs that
+    contend on a path from the unsat core."""
+    position = {n: i for i, n in enumerate(base_order)}
+    other_position = {n: i for i, n in enumerate(other_order)}
+    prints: Dict[NodeId, Footprint] = {
+        n: footprint(programs[n]) for n in position if n in programs
+    }
+    core_set = set(core_paths)
+
+    swapped: List[Tuple[NodeId, NodeId]] = []
+    nodes = [n for n in base_order if n in other_position]
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if (position[a] < position[b]) != (
+                other_position[a] < other_position[b]
+            ):
+                if nx.has_path(graph, a, b) or nx.has_path(graph, b, a):
+                    continue  # ordered by dependencies: cannot race
+                swapped.append(tuple(sorted((a, b), key=str)))
+
+    best: Optional[Tuple[NodeId, NodeId, Optional[Path]]] = None
+    best_score = (-1, -1, -1)
+    for a, b in swapped:
+        fa = prints.get(a)
+        fb = prints.get(b)
+        if fa is None or fb is None:
+            continue
+        shared = (fa.writes | fa.dir_ensures) & fb.touched() | (
+            fb.writes | fb.dir_ensures
+        ) & fa.touched()
+        real_writes = fa.writes | fb.writes
+        for p in shared:
+            # Prefer paths the unsat core names, then genuine writes
+            # over idempotent directory creation, then the most
+            # specific (deepest) path.
+            score = (
+                1 if p in core_set else 0,
+                1 if p in real_writes else 0,
+                len(str(p)),
+            )
+            if score > best_score:
+                best_score = score
+                best = (a, b, p)
+    if best is not None:
+        return best
+    if swapped:
+        a, b = swapped[0]
+        return a, b, (sorted(core_set, key=str)[0] if core_set else None)
+    return None

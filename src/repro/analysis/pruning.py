@@ -24,7 +24,7 @@ condition explained in :mod:`repro.analysis.definitive`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.commutativity import footprint
@@ -249,13 +249,19 @@ class PruneReport:
     (reads keep pruned paths alive as read-only, single-variable
     state).  ``stateful_before``/``stateful_after`` count paths some
     resource still *writes* — the quantity whose reduction drives the
-    Fig. 11 speedups."""
+    Fig. 11 speedups.  ``writers_by_path`` maps every surviving
+    stateful path to the indices of the resources writing it — the
+    contention-candidate view of a manifest: paths with two or more
+    writers are the ones the unsat-core localization
+    (:mod:`repro.analysis.localize`) can end up naming, and a pruned
+    path by construction never appears with more than one writer."""
 
     pruned_paths: List[Path]
     paths_before: int
     paths_after: int
     stateful_before: int = 0
     stateful_after: int = 0
+    writers_by_path: Dict[Path, List[int]] = field(default_factory=dict)
 
 
 def prune_manifest(
@@ -333,8 +339,17 @@ def prune_manifest(
         if final_prints
         else set()
     )
+    writers_by_path: Dict[Path, List[int]] = {}
+    for i, fp in enumerate(final_prints):
+        for p in fp.writes | fp.dir_ensures:
+            writers_by_path.setdefault(p, []).append(i)
     return result, PruneReport(
-        pruned_paths, before, after, stateful_before, stateful_after
+        pruned_paths,
+        before,
+        after,
+        stateful_before,
+        stateful_after,
+        writers_by_path,
     )
 
 

@@ -248,6 +248,35 @@ def fig13_deterministic_rows(
     return rows
 
 
+# -- full-corpus determinacy (the bench-regression headline figure) -----------
+
+
+def corpus_determinism_rows(
+    names: Sequence[str] = tuple(BENCHMARK_NAMES),
+) -> List[Tuple[str, float]]:
+    """(benchmark, determinacy seconds) under the production
+    configuration (every §4 optimization on), ending with a TOTAL row.
+
+    This is the number the incremental-solving work optimizes: all
+    order-pair queries of one manifest share a single solver instance
+    with per-pair selector variables, and non-deterministic verdicts
+    additionally pay for unsat-core race localization.  The
+    ``bench-regression`` CI job tracks it against
+    ``benchmarks/baseline.json``.
+    """
+    rows: List[Tuple[str, float]] = []
+    total = 0.0
+    for name in names:
+        graph, programs = _compile(name)
+        start = time.perf_counter()
+        check_determinism(graph, programs, DeterminismOptions())
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        rows.append((name, elapsed))
+    rows.append(("TOTAL", total))
+    return rows
+
+
 # -- batch throughput (beyond the paper: the repro.service figure) ------------
 
 

@@ -17,8 +17,19 @@ def render_explanation(result: DeterminismResult, programs) -> str:
 
     if result.deterministic or result.witness_orders is None:
         return "(nothing to explain: the manifest is deterministic)"
+    parts = []
+    if result.race is not None:
+        parts.append(f"Race localized (unsat core): {result.race.describe()}")
+        if result.race.ok_divergence:
+            parts.append(
+                "The orders disagree on whether the run errors at all."
+            )
+        if result.race.core_paths:
+            paths = ", ".join(str(p) for p in result.race.core_paths)
+            parts.append(f"Paths the orders cannot agree on: {paths}")
+        parts.append("")
     order1, order2 = result.witness_orders
-    parts = [
+    parts += [
         "--- order (1) ---",
         explain_order(order1, programs, result.witness_fs),
         "--- order (2) ---",
@@ -33,6 +44,8 @@ def render_determinism(result: DeterminismResult) -> str:
         lines.append("DETERMINISTIC: all orders produce the same outcome.")
     else:
         lines.append("NON-DETERMINISTIC: resource orders diverge.")
+        if result.race is not None:
+            lines.append(f"Race localized: {result.race.describe()}")
         if result.witness_fs is not None:
             lines.append("Witness initial filesystem:")
             lines.append(_indent(describe_filesystem(result.witness_fs)))
@@ -50,10 +63,13 @@ def render_determinism(result: DeterminismResult) -> str:
         f"[{stats.resources_total} resources, "
         f"{stats.resources_after_elimination} after elimination; "
         f"{stats.paths_before_pruning} stateful paths, "
-        f"{stats.paths_after_pruning} after pruning; "
+        f"{stats.paths_after_pruning} after pruning, "
+        f"{stats.contended_paths} contended; "
         f"{stats.branches_explored} branches; "
-        f"{stats.sat_vars} vars / {stats.sat_clauses} clauses; "
-        f"{stats.total_seconds:.3f}s]"
+        f"{stats.sat_vars} vars / {stats.sat_clauses} clauses "
+        f"in {stats.sat_queries} quer"
+        + ("y" if stats.sat_queries == 1 else "ies")
+        + f"; {stats.total_seconds:.3f}s]"
     )
     return "\n".join(lines)
 

@@ -47,63 +47,88 @@ class CNF:
         }
 
 
+class TseitinEncoder:
+    """Incremental Tseitin encoder with a persistent node cache.
+
+    Encoding several terms of one :class:`~repro.logic.terms.TermBank`
+    through the same encoder shares the definitional variables of every
+    common subterm: a DAG node is clausified exactly once, no matter
+    how many asserted terms it appears in.  This is what lets a batch
+    of structurally-overlapping queries (e.g. the per-pair determinacy
+    differences) reuse one CNF and one solver instance.
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None):
+        self.cnf = cnf if cnf is not None else CNF()
+        self._node_lit: Dict[int, int] = {}
+
+    def lit(self, root: Term) -> int:
+        """The CNF literal defined to be equivalent to ``root``,
+        emitting definition clauses for nodes not yet encoded."""
+        cnf = self.cnf
+        node_lit = self._node_lit
+
+        def lit_of_const(value: bool) -> int:
+            # Constants get dedicated variables pinned by unit clauses
+            # (rare: constant folding removes most constants first).
+            name = "$true" if value else "$false"
+            vid = cnf.var_ids.get(name)
+            if vid is None:
+                vid = cnf.new_var(name)
+                cnf.add([vid] if value else [-vid])
+            return vid
+
+        for node in _topo_order(root, node_lit):
+            if node.uid in node_lit:
+                continue
+            if node.kind == "true":
+                node_lit[node.uid] = lit_of_const(True)
+            elif node.kind == "false":
+                node_lit[node.uid] = lit_of_const(False)
+            elif node.kind == "var":
+                vid = cnf.var_ids.get(node.name)
+                if vid is None:
+                    vid = cnf.new_var(node.name)
+                node_lit[node.uid] = vid
+            elif node.kind == "not":
+                node_lit[node.uid] = -node_lit[node.args[0].uid]
+            elif node.kind == "and":
+                fresh = cnf.new_var()
+                child_lits = [node_lit[a.uid] for a in node.args]
+                for cl in child_lits:
+                    cnf.add([-fresh, cl])
+                cnf.add([fresh] + [-cl for cl in child_lits])
+                node_lit[node.uid] = fresh
+            elif node.kind == "or":
+                fresh = cnf.new_var()
+                child_lits = [node_lit[a.uid] for a in node.args]
+                for cl in child_lits:
+                    cnf.add([fresh, -cl])
+                cnf.add([-fresh] + child_lits)
+                node_lit[node.uid] = fresh
+            else:
+                raise TypeError(f"unknown term kind: {node.kind}")
+        return node_lit[root.uid]
+
+
 def tseitin(root: Term, bank: TermBank, cnf: Optional[CNF] = None) -> tuple[CNF, int]:
     """Encode ``root`` into ``cnf``; returns the CNF and the root literal.
 
     The caller typically asserts the root literal as a unit clause:
     ``cnf.add([lit])``.  Passing an existing CNF allows several terms to
-    share named input variables.
+    share named input variables.  For sharing *internal* subterm
+    variables across several terms, keep a :class:`TseitinEncoder`.
     """
-    if cnf is None:
-        cnf = CNF()
-    node_lit: Dict[int, int] = {}
-
-    # Constants get dedicated variables pinned by unit clauses (rare:
-    # constant folding removes most constants before they reach here).
-    def lit_of_const(value: bool) -> int:
-        name = "$true" if value else "$false"
-        vid = cnf.var_ids.get(name)
-        if vid is None:
-            vid = cnf.new_var(name)
-            cnf.add([vid] if value else [-vid])
-        return vid
-
-    order = _topo_order(root)
-    for node in order:
-        if node.uid in node_lit:
-            continue
-        if node.kind == "true":
-            node_lit[node.uid] = lit_of_const(True)
-        elif node.kind == "false":
-            node_lit[node.uid] = lit_of_const(False)
-        elif node.kind == "var":
-            vid = cnf.var_ids.get(node.name)
-            if vid is None:
-                vid = cnf.new_var(node.name)
-            node_lit[node.uid] = vid
-        elif node.kind == "not":
-            node_lit[node.uid] = -node_lit[node.args[0].uid]
-        elif node.kind == "and":
-            fresh = cnf.new_var()
-            child_lits = [node_lit[a.uid] for a in node.args]
-            for cl in child_lits:
-                cnf.add([-fresh, cl])
-            cnf.add([fresh] + [-cl for cl in child_lits])
-            node_lit[node.uid] = fresh
-        elif node.kind == "or":
-            fresh = cnf.new_var()
-            child_lits = [node_lit[a.uid] for a in node.args]
-            for cl in child_lits:
-                cnf.add([fresh, -cl])
-            cnf.add([-fresh] + child_lits)
-            node_lit[node.uid] = fresh
-        else:
-            raise TypeError(f"unknown term kind: {node.kind}")
-    return cnf, node_lit[root.uid]
+    encoder = TseitinEncoder(cnf)
+    lit = encoder.lit(root)
+    return encoder.cnf, lit
 
 
-def _topo_order(root: Term) -> List[Term]:
-    """Children-before-parents order over the DAG (iterative)."""
+def _topo_order(
+    root: Term, already: Optional[Dict[int, int]] = None
+) -> List[Term]:
+    """Children-before-parents order over the DAG (iterative); nodes
+    present in ``already`` (an encoded-node cache) are not revisited."""
     order: List[Term] = []
     state: Dict[int, int] = {}  # 0 = visiting, 1 = done
     stack: List[tuple[Term, bool]] = [(root, False)]
@@ -116,6 +141,8 @@ def _topo_order(root: Term) -> List[Term]:
         if state.get(node.uid) == 1:
             continue
         if state.get(node.uid) == 0:
+            continue
+        if already is not None and node.uid in already:
             continue
         state[node.uid] = 0
         stack.append((node, True))

@@ -1,0 +1,479 @@
+"""CNF preprocessing (SatELite-style) with model reconstruction.
+
+The Tseitin encodings the analyses produce are highly redundant: the
+asserted root literal cascades through unit propagation, most auxiliary
+variables are functionally defined and can be resolved away, and the
+pairwise exactly-one blocks generate heavily subsumed clauses.  This
+module simplifies an instance before it reaches the CDCL solver:
+
+* **unit propagation** to fixpoint;
+* **pure-literal elimination** (a variable occurring in one polarity
+  only is fixed to that polarity);
+* **subsumption** (a clause that is a superset of another is dropped)
+  and **self-subsuming resolution** (when resolving C∨l with D∨¬l
+  yields a clause subsuming D∨¬l, the literal ¬l is stripped from it);
+* **bounded variable elimination** (Davis–Putnam resolution on a
+  variable whose resolvent set is no larger than the clauses it
+  replaces).
+
+All transformations are satisfiability-preserving but not
+model-preserving, so :class:`Preprocessed` records a reconstruction
+stack: :meth:`Preprocessed.reconstruct` extends any model of the
+simplified instance to a model of the *original* clauses.  Variables
+whose value must survive untouched (named inputs, assumption
+selectors) are declared ``frozen``: they are never structurally
+eliminated, which also makes them safe to mention in clauses or
+assumptions added after preprocessing.  A non-frozen eliminated
+variable can still be referenced later by first calling
+:meth:`Preprocessed.restore`, which soundly re-introduces its saved
+clauses (the resolvents they imply are already in the database and
+stay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import SolverError
+
+#: Skip variable elimination when both occurrence lists are longer than
+#: this — the resolvent check alone would be quadratic noise.
+ELIM_OCCURRENCE_CAP = 10
+
+#: Upper bound on simplification rounds; each round strictly shrinks
+#: the instance, so this is a safety net, not a tuning knob.
+MAX_ROUNDS = 30
+
+
+@dataclass
+class PreprocessStats:
+    """What the pass did, for instrumentation and benchmarks."""
+
+    clauses_before: int = 0
+    clauses_after: int = 0
+    literals_before: int = 0
+    literals_after: int = 0
+    units_fixed: int = 0
+    pure_literals: int = 0
+    subsumed: int = 0
+    strengthened: int = 0
+    eliminated_vars: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class Preprocessed:
+    """The simplified instance plus everything needed to map a model
+    of it back onto the original clauses."""
+
+    clauses: List[List[int]]
+    num_vars: int
+    unsat: bool = False
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+    #: Forced assignments (units) discovered during preprocessing.
+    assigned: Dict[int, bool] = field(default_factory=dict)
+    #: Reconstruction stack, in application order.  Entries are
+    #: ("assign", lit) for forced units and ("elim", var, saved_clauses)
+    #: for pure literals and variable elimination.
+    _stack: List[tuple] = field(default_factory=list)
+    #: Variables currently eliminated ("elim" entries still alive).
+    eliminated: Set[int] = field(default_factory=set)
+
+    def reconstruct(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        """Extend a model of :attr:`clauses` to a model of the original
+        instance.  Variables absent from ``model`` are treated as False
+        (the solver's don't-care convention)."""
+        out = dict(model)
+        for entry in reversed(self._stack):
+            if entry[0] == "assign":
+                lit = entry[1]
+                out[abs(lit)] = lit > 0
+                continue
+            _, var, saved = entry
+            if var not in self.eliminated:
+                continue  # restored: the solver chose its value
+            need_true = False
+            need_false = False
+            for clause in saved:
+                satisfied = False
+                polarity = 0
+                for lit in clause:
+                    v = abs(lit)
+                    if v == var:
+                        polarity = 1 if lit > 0 else -1
+                        continue
+                    if out.get(v, False) == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if polarity > 0:
+                    need_true = True
+                elif polarity < 0:
+                    need_false = True
+            # Davis–Putnam guarantees one value satisfies every saved
+            # clause; prefer the forced polarity, default False.
+            out[var] = need_true
+            if need_true and need_false:
+                raise SolverError(
+                    f"model reconstruction conflict on eliminated var {var}"
+                )
+        return out
+
+    def restore(self, var: int) -> List[List[int]]:
+        """Soundly re-introduce an eliminated variable: returns its
+        saved clauses (simplified against the assignments known at
+        preprocessing time) for the caller to add back to the solver,
+        and drops the variable's reconstruction entry so the solver's
+        choice for it wins.  Restoration *cascades*: a saved clause can
+        mention a variable eliminated later in the pass, whose value
+        must then also come from the solver, so that variable is
+        restored too.  Returns [] when the variable was never
+        eliminated."""
+        if var not in self.eliminated:
+            return []
+        saved_by_var: Dict[int, List[List[int]]] = {}
+        for entry in self._stack:
+            if entry[0] == "elim":
+                saved_by_var[entry[1]] = entry[2]
+        restored: List[List[int]] = []
+        worklist = [var]
+        while worklist:
+            v = worklist.pop()
+            if v not in self.eliminated:
+                continue
+            self.eliminated.discard(v)
+            for clause in saved_by_var.get(v, ()):
+                simplified = self._apply_assignments(clause)
+                if simplified is None:
+                    continue
+                restored.append(simplified)
+                for lit in simplified:
+                    if abs(lit) in self.eliminated:
+                        worklist.append(abs(lit))
+        return restored
+
+    def simplify_clause(self, clause: Sequence[int]) -> Optional[List[int]]:
+        """Simplify a *new* clause against the forced assignments found
+        during preprocessing (None = already satisfied).  Any clause
+        added to the solver after preprocessing must pass through here,
+        because the solver never saw the dropped unit clauses."""
+        return self._apply_assignments(clause)
+
+    def _apply_assignments(self, clause: Sequence[int]) -> Optional[List[int]]:
+        out: List[int] = []
+        for lit in clause:
+            value = self.assigned.get(abs(lit))
+            if value is None:
+                out.append(lit)
+            elif value == (lit > 0):
+                return None  # satisfied
+        return out
+
+
+class _Preprocessor:
+    def __init__(
+        self,
+        clauses: Sequence[Sequence[int]],
+        num_vars: int,
+        frozen: Iterable[int],
+    ):
+        self.num_vars = num_vars
+        self.frozen = set(frozen)
+        self.result = Preprocessed(clauses=[], num_vars=num_vars)
+        self.stats = self.result.stats
+        self.unsat = False
+        # Clause storage with tombstones + occurrence lists.  ``dirty``
+        # holds indices of clauses added or strengthened since they
+        # were last used as subsumption candidates, so each sweep only
+        # revisits what changed (SatELite's touched-clause queue).
+        self.clauses: List[Optional[List[int]]] = []
+        self.signatures: List[int] = []
+        self.occ: Dict[int, Set[int]] = {}
+        self.unit_queue: List[int] = []
+        self.dirty: Set[int] = set()
+        for clause in clauses:
+            self._add(clause)
+
+    # -- storage ------------------------------------------------------------
+
+    def _add(self, lits: Sequence[int]) -> None:
+        seen: Set[int] = set()
+        clause: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise SolverError("literal 0 is not allowed")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+            self.num_vars = max(self.num_vars, abs(lit))
+        if not clause:
+            self.unsat = True
+            return
+        if len(clause) == 1:
+            self.unit_queue.append(clause[0])
+            return
+        idx = len(self.clauses)
+        self.clauses.append(clause)
+        self.signatures.append(self._signature(clause))
+        self.dirty.add(idx)
+        for lit in clause:
+            self.occ.setdefault(lit, set()).add(idx)
+
+    def _remove(self, idx: int) -> None:
+        clause = self.clauses[idx]
+        if clause is None:
+            return
+        for lit in clause:
+            self.occ.get(lit, set()).discard(idx)
+        self.clauses[idx] = None
+        self.dirty.discard(idx)
+
+    def _strengthen(self, idx: int, lit: int) -> None:
+        """Remove ``lit`` from clause ``idx`` (it is false or resolved
+        away)."""
+        clause = self.clauses[idx]
+        assert clause is not None
+        self.occ.get(lit, set()).discard(idx)
+        clause.remove(lit)
+        if len(clause) == 1:
+            self.unit_queue.append(clause[0])
+            self._remove(idx)
+        elif not clause:
+            self.unsat = True
+        else:
+            self.signatures[idx] = self._signature(clause)
+            self.dirty.add(idx)
+
+    # -- passes -------------------------------------------------------------
+
+    def propagate_units(self) -> bool:
+        changed = False
+        while self.unit_queue and not self.unsat:
+            lit = self.unit_queue.pop()
+            var = abs(lit)
+            known = self.result.assigned.get(var)
+            if known is not None:
+                if known != (lit > 0):
+                    self.unsat = True
+                continue
+            if var in self.result.eliminated:
+                raise SolverError(
+                    f"unit on eliminated variable {var}: elimination "
+                    "must drain pending units first"
+                )
+            changed = True
+            self.result.assigned[var] = lit > 0
+            self.result._stack.append(("assign", lit))
+            self.stats.units_fixed += 1
+            for idx in list(self.occ.get(lit, ())):
+                self._remove(idx)
+            for idx in list(self.occ.get(-lit, ())):
+                self._strengthen(idx, -lit)
+        return changed
+
+    def pure_literals(self) -> bool:
+        changed = False
+        for var in range(1, self.num_vars + 1):
+            if self.unsat:
+                break
+            if var in self.frozen or var in self.result.assigned:
+                continue
+            if var in self.result.eliminated:
+                continue
+            pos = self.occ.get(var, set())
+            neg = self.occ.get(-var, set())
+            if pos and neg:
+                continue
+            if not pos and not neg:
+                continue
+            lit = var if pos else -var
+            saved = [list(self.clauses[i]) for i in (pos or neg)]
+            self.result._stack.append(("elim", var, saved))
+            self.result.eliminated.add(var)
+            self.stats.pure_literals += 1
+            for idx in list(pos or neg):
+                self._remove(idx)
+            changed = True
+        return changed
+
+    def _signature(self, clause: List[int]) -> int:
+        sig = 0
+        for lit in clause:
+            sig |= 1 << (abs(lit) & 63)
+        return sig
+
+    def subsumption(self) -> bool:
+        """Backward subsumption + self-subsuming resolution over the
+        clauses touched since the last sweep."""
+        changed = False
+        while self.dirty and not self.unsat:
+            idx = self.dirty.pop()
+            clause = self.clauses[idx]
+            if clause is None:
+                continue
+            sig = self.signatures[idx]
+            # Candidates live in the occurrence list of the rarest
+            # literal of the clause (every superset must contain it).
+            best_lit = min(
+                clause, key=lambda l: len(self.occ.get(l, ()))
+            )
+            lits = set(clause)
+            for other_idx in list(self.occ.get(best_lit, ())):
+                if other_idx == idx:
+                    continue
+                other = self.clauses[other_idx]
+                if other is None or len(other) < len(clause):
+                    continue
+                if sig & ~self.signatures[other_idx]:
+                    continue
+                if lits <= set(other):
+                    self._remove(other_idx)
+                    self.stats.subsumed += 1
+                    changed = True
+            # Self-subsuming resolution: C = A∨l strengthens D = B∨¬l
+            # when A ⊆ B.
+            for lit in clause:
+                rest_sig = self._signature([q for q in lits if q != lit])
+                for other_idx in list(self.occ.get(-lit, ())):
+                    other = self.clauses[other_idx]
+                    if other is None or len(other) < len(clause):
+                        continue
+                    if rest_sig & ~self.signatures[other_idx]:
+                        continue
+                    other_lits = set(other)
+                    if lits - {lit} <= other_lits - {-lit}:
+                        self._strengthen(other_idx, -lit)
+                        self.stats.strengthened += 1
+                        changed = True
+                        if self.unsat:
+                            return changed
+                if self.clauses[idx] is None:
+                    break  # the clause itself became a unit meanwhile
+        return changed
+
+    def eliminate_variables(self) -> bool:
+        changed = False
+        for var in range(1, self.num_vars + 1):
+            if self.unsat:
+                break
+            if var in self.frozen or var in self.result.assigned:
+                continue
+            if var in self.result.eliminated:
+                continue
+            pos = self.occ.get(var, set())
+            neg = self.occ.get(-var, set())
+            if not pos or not neg:
+                continue  # pure or absent: handled elsewhere
+            if len(pos) > ELIM_OCCURRENCE_CAP and len(neg) > ELIM_OCCURRENCE_CAP:
+                continue
+            resolvents: List[List[int]] = []
+            budget = len(pos) + len(neg)
+            feasible = True
+            for pi in pos:
+                pc = self.clauses[pi]
+                assert pc is not None
+                for ni in neg:
+                    nc = self.clauses[ni]
+                    assert nc is not None
+                    resolvent = self._resolve(pc, nc, var)
+                    if resolvent is None:
+                        continue  # tautology
+                    resolvents.append(resolvent)
+                    if len(resolvents) > budget:
+                        feasible = False
+                        break
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            saved = [list(self.clauses[i]) for i in pos | neg]
+            self.result._stack.append(("elim", var, saved))
+            self.result.eliminated.add(var)
+            self.stats.eliminated_vars += 1
+            for idx in list(pos | neg):
+                self._remove(idx)
+            for resolvent in resolvents:
+                self._add(resolvent)
+            changed = True
+            if self.unit_queue:
+                # A unit resolvent must be applied before any further
+                # elimination: a later elimination of its variable
+                # would record an "elim" stack entry under an "assign"
+                # one, and reconstruction would replay them in the
+                # wrong order (the Davis–Putnam choice overwriting the
+                # forced value).
+                self.propagate_units()
+                if self.unsat:
+                    break
+        return changed
+
+    @staticmethod
+    def _resolve(
+        pc: List[int], nc: List[int], var: int
+    ) -> Optional[List[int]]:
+        out: Dict[int, int] = {}
+        for lit in pc:
+            if abs(lit) != var:
+                out[lit] = lit
+        for lit in nc:
+            if abs(lit) == var:
+                continue
+            if -lit in out:
+                return None  # tautology
+            out[lit] = lit
+        return list(out)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> Preprocessed:
+        self.stats.clauses_before = sum(
+            1 for c in self.clauses if c is not None
+        ) + len(self.unit_queue)
+        self.stats.literals_before = sum(
+            len(c) for c in self.clauses if c is not None
+        ) + len(self.unit_queue)
+        rounds = 0
+        changed = True
+        while changed and not self.unsat and rounds < MAX_ROUNDS:
+            rounds += 1
+            changed = False
+            changed |= self.propagate_units()
+            if self.unsat:
+                break
+            changed |= self.subsumption()
+            changed |= self.propagate_units()
+            if self.unsat:
+                break
+            changed |= self.pure_literals()
+            changed |= self.eliminate_variables()
+            changed |= self.propagate_units()
+        self.stats.rounds = rounds
+        self.result.unsat = self.unsat
+        self.result.num_vars = self.num_vars
+        if not self.unsat:
+            self.result.clauses = [
+                list(c) for c in self.clauses if c is not None
+            ]
+        self.stats.clauses_after = len(self.result.clauses)
+        self.stats.literals_after = sum(
+            len(c) for c in self.result.clauses
+        )
+        return self.result
+
+
+def preprocess(
+    clauses: Sequence[Sequence[int]],
+    num_vars: int = 0,
+    frozen: Iterable[int] = (),
+) -> Preprocessed:
+    """Simplify a CNF instance; see the module docstring.
+
+    ``frozen`` variables keep their clauses (no pure-literal or
+    variable elimination touches them), so they may safely appear in
+    assumptions and in clauses added after preprocessing.
+    """
+    return _Preprocessor(clauses, num_vars, frozen).run()

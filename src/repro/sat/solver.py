@@ -8,6 +8,15 @@ queries.
 Features: two-watched-literal propagation, first-UIP conflict-clause
 learning with recursive minimization, EVSIDS branching, phase saving,
 Luby restarts, and LBD-based learned-clause deletion.
+
+The solver is *incremental*: the clause database — including learned
+clauses and root-level units — survives ``solve()`` calls, so a
+sequence of related queries shares all derived facts.  Queries are
+distinguished by ``assumptions``, temporary unit literals applied as
+the first decisions of the search (MiniSat's interface).  When the
+instance is unsatisfiable *under the assumptions*, final-conflict
+analysis reports the subset of assumptions in the unsat core
+(``SolveResult.core``), which callers use for fault localization.
 """
 
 from __future__ import annotations
@@ -24,10 +33,18 @@ FALSE = -1
 
 @dataclass
 class SolveResult:
-    """Outcome of a solver run."""
+    """Outcome of a solver run.
+
+    ``core`` is only meaningful when ``sat`` is False and the query was
+    made under assumptions: it holds the subset of the assumption
+    literals (as passed) whose conjunction with the clause database is
+    already unsatisfiable.  An empty core on an assumption query means
+    the clauses alone are unsatisfiable.
+    """
 
     sat: bool
     assignment: Dict[int, bool] = field(default_factory=dict)
+    core: List[int] = field(default_factory=list)
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
@@ -53,6 +70,7 @@ class Solver:
         self._queue_head = 0
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
+        self._occurs: List[bool] = [False]
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._ok = True
@@ -73,14 +91,28 @@ class Solver:
             self._reason.append(None)
             self._activity.append(0.0)
             self._phase.append(False)
+            self._occurs.append(False)
             self._watches[self.num_vars] = []
             self._watches[-self.num_vars] = []
 
     def add_clause(self, lits: Sequence[int]) -> None:
         """Add a problem clause; duplicate literals removed, tautologies
-        dropped.  Empty clause makes the instance trivially UNSAT."""
+        dropped.  Empty clause makes the instance trivially UNSAT.
+
+        Clauses may be added between ``solve()`` calls (the incremental
+        interface).  The clause is simplified against the root-level
+        assignment first: literals already false at level 0 must not be
+        chosen as watches — propagation has moved past them, so a watch
+        on one would never fire again and the solver could answer SAT
+        with a model violating the clause.
+        """
         if not self._ok:
             return
+        if self._decision_level() != 0:
+            # A real check, not an assert: simplifying the clause
+            # against search-level assignments below would silently
+            # corrupt it (and -O strips asserts).
+            raise SolverError("clauses can only be added at decision level 0")
         seen: set[int] = set()
         clause: List[int] = []
         for lit in lits:
@@ -89,14 +121,20 @@ class Solver:
             self.ensure_vars(abs(lit))
             if -lit in seen:
                 return  # tautology
-            if lit not in seen:
-                seen.add(lit)
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == TRUE:
+                return  # satisfied at the root: implied by a unit
+            seen.add(lit)
+            if value != FALSE:
                 clause.append(lit)
+            self._occurs[abs(lit)] = True
         if not clause:
             self._ok = False
             return
         if len(clause) == 1:
-            if not self._enqueue(clause[0], None):
+            if not self._enqueue(clause[0], clause):
                 self._ok = False
             return
         self._clauses.append(clause)
@@ -288,7 +326,13 @@ class Solver:
         best_var = 0
         best_act = -1.0
         for var in range(1, self.num_vars + 1):
-            if self._assign[var] == UNDEF and self._activity[var] > best_act:
+            # Vars in no clause (e.g. eliminated by preprocessing) are
+            # free: branching on them only pads the trail.
+            if (
+                self._occurs[var]
+                and self._assign[var] == UNDEF
+                and self._activity[var] > best_act
+            ):
                 best_act = self._activity[var]
                 best_var = var
         if best_var == 0:
@@ -302,47 +346,61 @@ class Solver:
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
     ) -> SolveResult:
-        """Decide satisfiability.  ``assumptions`` are temporary unit
-        literals (the solver state is reset before and after)."""
+        """Decide satisfiability under temporary ``assumptions``.
+
+        The clause database (problem clauses, learned clauses,
+        root-level units) persists across calls; only the assumptions
+        are forgotten.  Following MiniSat, assumptions are applied as
+        the first decisions of the search and *re-applied after every
+        restart*, so learned unit clauses can be retained at level 0
+        without ever losing an assumption.  On UNSAT,
+        ``SolveResult.core`` holds the implicated assumptions.
+        """
         self._backtrack(0)
         if not self._ok:
             return self._result(False)
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            if lit == 0:
+                raise SolverError("literal 0 is not allowed")
+            self.ensure_vars(abs(lit))
+            self._occurs[abs(lit)] = True
         if self._propagate() is not None:
             self._ok = False
             return self._result(False)
-
-        # Apply assumptions as level-1+ decisions.
-        for lit in assumptions:
-            self.ensure_vars(abs(lit))
-            if self._value(lit) == TRUE:
-                continue
-            if self._value(lit) == FALSE:
-                self._backtrack(0)
-                return self._result(False)
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(lit, None)
-            if self._propagate() is not None:
-                self._backtrack(0)
-                return self._result(False)
-        base_level = self._decision_level()
 
         restart_unit = 64
         luby_index = 1
         conflicts_until_restart = restart_unit * _luby(luby_index)
         max_learned = max(1000, len(self._clauses) // 2)
+        # The budget is per call: self.conflicts accumulates over the
+        # solver's lifetime, so a reused instance must not charge this
+        # query for conflicts earlier queries spent.
+        conflict_limit = (
+            self.conflicts + max_conflicts
+            if max_conflicts is not None
+            else None
+        )
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_until_restart -= 1
-                if self._decision_level() <= base_level:
-                    self._backtrack(0)
+                if self._decision_level() == 0:
+                    self._ok = False
                     return self._result(False)
                 learned, back_level = self._analyze(conflict)
-                self._backtrack(max(back_level, base_level))
+                self._backtrack(back_level)
                 if len(learned) == 1:
-                    if not self._enqueue(learned[0], None):
+                    # A learned unit is implied by the clauses alone
+                    # (conflict analysis never resolves on assumption
+                    # literals), so it is sound — and valuable for
+                    # later calls — to fix it at level 0.  Its reason
+                    # is itself, which keeps final-conflict analysis
+                    # from mistaking it for an assumption.
+                    if not self._enqueue(learned[0], learned):
+                        self._ok = False
                         self._backtrack(0)
                         return self._result(False)
                 else:
@@ -350,28 +408,76 @@ class Solver:
                     self._watch(learned)
                     self._enqueue(learned[0], learned)
                 self._decay()
-                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                if conflict_limit is not None and self.conflicts >= conflict_limit:
+                    # Leave the solver reusable: every exit path —
+                    # including this abnormal one — returns at level 0
+                    # so clauses can still be added afterwards.
+                    self._backtrack(0)
                     raise SolverError("conflict budget exhausted")
                 if len(self._learned) > max_learned:
                     self._reduce_learned()
                     max_learned = int(max_learned * 1.3)
                 continue
 
-            if conflicts_until_restart <= 0 and self._decision_level() > base_level:
+            if conflicts_until_restart <= 0:
                 self.restarts += 1
                 luby_index += 1
                 conflicts_until_restart = restart_unit * _luby(luby_index)
-                self._backtrack(base_level)
+                self._backtrack(0)
                 continue
 
-            lit = self._pick_branch()
-            if lit == 0:
-                result = self._result(True)
-                self._backtrack(0)
-                return result
+            # Re-establish assumptions first: decision level k holds
+            # assumption k (or a dummy level when it already holds).
+            lit = 0
+            while self._decision_level() < len(assumptions):
+                p = assumptions[self._decision_level()]
+                v = self._value(p)
+                if v == TRUE:
+                    self._trail_lim.append(len(self._trail))
+                elif v == FALSE:
+                    core = self._analyze_final(p)
+                    self._backtrack(0)
+                    return self._result(False, core=core)
+                else:
+                    lit = p
+                    break
+            if lit == 0 and self._decision_level() >= len(assumptions):
+                lit = self._pick_branch()
+                if lit == 0:
+                    result = self._result(True)
+                    self._backtrack(0)
+                    return result
             self.decisions += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
+
+    def _analyze_final(self, p: int) -> List[int]:
+        """``p`` is an assumption found FALSE while (re-)applying the
+        assumptions: every decision currently on the trail is itself an
+        assumption.  Walk the implication graph of ¬p back to decisions
+        to collect the implicated assumptions (MiniSat's analyzeFinal).
+        """
+        core = {p}
+        var0 = abs(p)
+        if self._level[var0] == 0:
+            return sorted(core)  # the clauses alone imply ¬p
+        seen = {var0}
+        start = self._trail_lim[0]
+        for i in range(len(self._trail) - 1, start - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason[var]
+            if reason is None:
+                core.add(lit)  # a decision == an earlier assumption
+            else:
+                for q in reason:
+                    qv = abs(q)
+                    if qv != var and self._level[qv] > 0:
+                        seen.add(qv)
+        return sorted(core)
 
     def _reduce_learned(self) -> None:
         """Drop the less active half of learned clauses (keeping those
@@ -388,7 +494,7 @@ class Solver:
                 c for c in self._watches[lit] if id(c) not in removed
             ]
 
-    def _result(self, sat: bool) -> SolveResult:
+    def _result(self, sat: bool, core: Optional[List[int]] = None) -> SolveResult:
         assignment: Dict[int, bool] = {}
         if sat:
             assignment = {
@@ -399,11 +505,38 @@ class Solver:
         return SolveResult(
             sat=sat,
             assignment=assignment,
+            core=list(core or ()),
             conflicts=self.conflicts,
             decisions=self.decisions,
             propagations=self.propagations,
             restarts=self.restarts,
         )
+
+    # -- database inspection ------------------------------------------------
+
+    def root_units(self) -> List[int]:
+        """The literals fixed at decision level 0 (problem units plus
+        learned units)."""
+        limit = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        return list(self._trail[:limit])
+
+    def clause_database(
+        self, include_learned: bool = False
+    ) -> List[List[int]]:
+        """A snapshot of the current clause database: root-level units
+        as unit clauses, then problem clauses (and optionally learned
+        clauses).  Together with :attr:`num_vars` this is exactly what
+        :func:`repro.sat.dimacs.write_dimacs` needs to dump the
+        instance for offline debugging."""
+        if not self._ok:
+            # Known unsatisfiable regardless of clauses: the empty
+            # clause reproduces that verdict on re-read.
+            return [[]]
+        clauses: List[List[int]] = [[lit] for lit in self.root_units()]
+        clauses.extend(list(c) for c in self._clauses)
+        if include_learned:
+            clauses.extend(list(c) for c in self._learned)
+        return clauses
 
 
 def _luby(i: int) -> int:

@@ -32,6 +32,12 @@ class ManifestResult:
     deterministic: Optional[bool] = None
     idempotent: Optional[bool] = None
     resource_count: int = 0
+    #: For non-deterministic manifests: the racing resource pair and
+    #: contended filesystem path recovered by unsat-core localization
+    #: (:mod:`repro.analysis.localize`), e.g. ``["File['/etc/ntp.conf']",
+    #: "Package['ntp']"]`` racing on ``/etc/ntp.conf``.
+    race_pair: Optional[List[str]] = None
+    race_path: Optional[str] = None
     error: Optional[str] = None
     error_transient: bool = False  # load-dependent failure; never cached
     seconds: float = 0.0
@@ -59,12 +65,24 @@ class ManifestResult:
             status = STATUS_OK
         else:
             status = STATUS_FAILED
+        race_pair = None
+        race_path = None
+        race = (
+            report.determinism.race
+            if report.determinism is not None
+            else None
+        )
+        if race is not None:
+            race_pair = [str(race.resource_a), str(race.resource_b)]
+            race_path = str(race.path) if race.path is not None else None
         return cls(
             name=report.manifest_name,
             status=status,
             deterministic=report.deterministic,
             idempotent=report.idempotent,
             resource_count=report.resource_count,
+            race_pair=race_pair,
+            race_path=race_path,
             error=report.error,
             error_transient=report.error_transient,
             seconds=report.total_seconds,

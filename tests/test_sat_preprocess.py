@@ -1,0 +1,204 @@
+"""Tests for CNF preprocessing (repro.sat.preprocess).
+
+The key properties, checked against the brute-force oracle on random
+small instances (Hypothesis):
+
+* preprocessed-then-solved and raw-solved agree on satisfiability;
+* a model of the simplified instance, run through
+  ``Preprocessed.reconstruct``, satisfies the *original* clauses;
+* clauses added after preprocessing (via ``simplify_clause`` +
+  ``restore``) preserve both properties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.brute import brute_force_solve, check_assignment
+from repro.sat.preprocess import preprocess
+from repro.sat.solver import Solver, solve_cnf
+
+NUM_VARS = 8
+
+literals = st.integers(min_value=1, max_value=NUM_VARS).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+clauses_strategy = st.lists(
+    st.lists(literals, min_size=1, max_size=3), min_size=1, max_size=24
+)
+frozen_strategy = st.sets(
+    st.integers(min_value=1, max_value=NUM_VARS), max_size=4
+)
+
+
+def solve_with_preprocessing(clauses, frozen=()):
+    pre = preprocess(clauses, NUM_VARS, frozen=frozen)
+    if pre.unsat:
+        return None, pre
+    result = solve_cnf(pre.clauses, pre.num_vars)
+    if not result.sat:
+        return None, pre
+    return pre.reconstruct(result.assignment), pre
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=300, deadline=None)
+    @given(clauses=clauses_strategy, frozen=frozen_strategy)
+    def test_preprocessed_verdict_matches_raw_and_oracle(
+        self, clauses, frozen
+    ):
+        oracle = brute_force_solve(clauses, NUM_VARS)
+        raw = solve_cnf(clauses, NUM_VARS)
+        model, _ = solve_with_preprocessing(clauses, frozen)
+        assert raw.sat == (oracle is not None)
+        assert (model is not None) == (oracle is not None)
+
+    @settings(max_examples=300, deadline=None)
+    @given(clauses=clauses_strategy, frozen=frozen_strategy)
+    def test_reconstructed_model_satisfies_original_clauses(
+        self, clauses, frozen
+    ):
+        model, _ = solve_with_preprocessing(clauses, frozen)
+        if model is None:
+            return
+        full = {v: model.get(v, False) for v in range(1, NUM_VARS + 1)}
+        assert check_assignment(clauses, full)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        clauses=clauses_strategy,
+        extra=st.lists(
+            st.lists(literals, min_size=1, max_size=3), max_size=4
+        ),
+    )
+    def test_late_clauses_via_restore_are_sound(self, clauses, extra):
+        """Adding clauses after preprocessing must agree with solving
+        everything from scratch, provided eliminated variables are
+        restored and the new clauses simplified."""
+        pre = preprocess(clauses, NUM_VARS)
+        oracle = brute_force_solve(clauses + extra, NUM_VARS)
+        if pre.unsat:
+            assert brute_force_solve(clauses, NUM_VARS) is None
+            assert oracle is None
+            return
+        solver = Solver()
+        for clause in pre.clauses:
+            solver.add_clause(clause)
+        for clause in extra:
+            for lit in clause:
+                for restored in pre.restore(abs(lit)):
+                    solver.add_clause(restored)
+            simplified = pre.simplify_clause(clause)
+            if simplified is not None:
+                solver.add_clause(simplified)
+        result = solver.solve()
+        assert result.sat == (oracle is not None)
+        if result.sat:
+            model = pre.reconstruct(result.assignment)
+            full = {
+                v: model.get(v, False) for v in range(1, NUM_VARS + 1)
+            }
+            assert check_assignment(clauses + extra, full)
+
+
+class TestPasses:
+    def test_unit_propagation_to_fixpoint(self):
+        pre = preprocess([[1], [-1, 2], [-2, 3], [-3, 4]], 4)
+        assert not pre.unsat
+        assert pre.clauses == []
+        assert pre.assigned == {1: True, 2: True, 3: True, 4: True}
+
+    def test_unit_conflict_is_unsat(self):
+        pre = preprocess([[1], [-1, 2], [-2]], 2)
+        assert pre.unsat
+
+    def test_pure_literal_elimination(self):
+        pre = preprocess([[1, 2], [1, 3], [-2, 3]], 3)
+        # 1 and 3 are pure; everything dissolves.
+        assert pre.clauses == []
+        model = pre.reconstruct({})
+        assert check_assignment([[1, 2], [1, 3], [-2, 3]], {
+            v: model.get(v, False) for v in range(1, 4)
+        })
+
+    def test_frozen_variables_keep_their_clauses(self):
+        clauses = [[1, 2], [1, 3]]
+        pre = preprocess(clauses, 3, frozen={1, 2, 3})
+        # 1 is pure but frozen: no elimination may remove it.
+        assert pre.eliminated == set()
+        assert sorted(map(sorted, pre.clauses)) == sorted(
+            map(sorted, clauses)
+        )
+
+    def test_subsumption_drops_supersets(self):
+        pre = preprocess([[1, 2], [1, 2, 3], [1, 2, 4]], 4, frozen={1, 2, 3, 4})
+        assert pre.stats.subsumed == 2
+        assert sorted(map(sorted, pre.clauses)) == [[1, 2]]
+
+    def test_self_subsuming_resolution_strengthens(self):
+        # (1 ∨ 2) with (¬1 ∨ 2 ∨ 3) strengthens the latter to (2 ∨ 3).
+        pre = preprocess(
+            [[1, 2], [-1, 2, 3], [3, 4], [-3, -4]], 4, frozen={1, 2, 3, 4}
+        )
+        assert pre.stats.strengthened >= 1
+        assert [2, 3] in [sorted(c) for c in pre.clauses]
+
+    def test_variable_elimination_resolves(self):
+        # Resolving on 1: (2 ∨ 3) is the single resolvent.
+        pre = preprocess([[1, 2], [-1, 3]], 3)
+        assert 1 in pre.eliminated or pre.clauses == []
+        model = pre.reconstruct(
+            {2: True, 3: False}
+            if any(2 in map(abs, c) for c in pre.clauses)
+            else {}
+        )
+        full = {v: model.get(v, False) for v in range(1, 4)}
+        assert check_assignment([[1, 2], [-1, 3]], full)
+
+    def test_tautologies_dropped(self):
+        pre = preprocess([[1, -1], [2, 3]], 3)
+        assert not pre.unsat
+
+    def test_empty_clause_is_unsat(self):
+        pre = preprocess([[1], []], 1)
+        assert pre.unsat
+
+    def test_stats_populated(self):
+        pre = preprocess([[1], [-1, 2], [2, 3, 4], [2, 3]], 4)
+        stats = pre.stats
+        assert stats.clauses_before == 4
+        assert stats.units_fixed >= 2
+        assert stats.rounds >= 1
+
+
+class TestReconstructionEdgeCases:
+    def test_reconstruct_empty_model(self):
+        pre = preprocess([[1, 2]], 2)
+        model = pre.reconstruct({})
+        full = {v: model.get(v, False) for v in (1, 2)}
+        assert check_assignment([[1, 2]], full)
+
+    def test_restore_unknown_variable_is_noop(self):
+        pre = preprocess([[1, 2]], 2)
+        assert pre.restore(99) == []
+
+    def test_restore_cascades_through_later_eliminations(self):
+        # Eliminating 7 produces the resolvent (¬3 ∨ 1), whose later
+        # elimination on 1 must be unwound together with 7's.
+        clauses = [[-3, 7], [8, 6], [3, 5, -1], [-7, 1]]
+        pre = preprocess(clauses, 8)
+        solver = Solver()
+        for clause in pre.clauses:
+            solver.add_clause(clause)
+        extra = [[-2], [6], [7], [7, -2]]
+        for clause in extra:
+            for lit in clause:
+                for restored in pre.restore(abs(lit)):
+                    solver.add_clause(restored)
+            simplified = pre.simplify_clause(clause)
+            if simplified is not None:
+                solver.add_clause(simplified)
+        result = solver.solve()
+        assert result.sat
+        model = pre.reconstruct(result.assignment)
+        full = {v: model.get(v, False) for v in range(1, 9)}
+        assert check_assignment(clauses + extra, full)
