@@ -35,6 +35,7 @@ from repro.bench.harness import (
     fig11c_rows,
     fig12_rows,
     fig13_deterministic_rows,
+    fig13_exploration_rows,
     fig13_rows,
     render_rows,
     verdict_rows,
@@ -97,6 +98,18 @@ def collect_figures(timeout: float, smoke: bool):
             ["n", "time"],
             lambda: fig13_rows(
                 ns=(2, 3) if smoke else (2, 3, 4, 5, 6), timeout=timeout
+            ),
+        )
+    )
+    figures.append(
+        (
+            "exploration",
+            f"Exploration{subset} — reachable-state DAG on the Fig. 13 "
+            "workload (branches vs. the n! order tree)",
+            ["n", "branches", "memo hits", "distinct finals", "time"],
+            lambda: fig13_exploration_rows(
+                ns=(2, 3, 4, 5, 6) if smoke else (2, 3, 4, 5, 6, 7, 8),
+                timeout=timeout,
             ),
         )
     )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
 
 from repro.fs import syntax as fx
 from repro.fs.paths import Path
@@ -226,3 +226,26 @@ def _conflicts(a: Footprint, b: Footprint) -> bool:
 def exprs_commute(e1: fx.Expr, e2: fx.Expr) -> bool:
     """Convenience wrapper computing footprints on the fly."""
     return footprints_commute(footprint(e1), footprint(e2))
+
+
+def commutativity_matrix(
+    footprints: "Mapping[Hashable, Footprint]",
+) -> "Dict[Hashable, Dict[Hashable, bool]]":
+    """All-pairs :func:`footprints_commute`, computed once.
+
+    The determinacy exploration asks "does n commute with m?" on every
+    branch; recomputing the pairwise check there is O(footprint) per
+    query.  This matrix pays the quadratic cost a single time up front
+    and answers every later query with a dict lookup.  Symmetric by
+    construction (commutation is); the diagonal is True.
+    """
+    keys = list(footprints)
+    matrix: Dict[Hashable, Dict[Hashable, bool]] = {k: {} for k in keys}
+    for i, a in enumerate(keys):
+        fa = footprints[a]
+        matrix[a][a] = True
+        for b in keys[i + 1 :]:
+            commute = footprints_commute(fa, footprints[b])
+            matrix[a][b] = commute
+            matrix[b][a] = commute
+    return matrix

@@ -5,15 +5,30 @@ initial filesystem to at most one outcome:
 
 1. optionally *eliminate* resources that cannot affect the verdict
    (§4.4) and *prune* paths private to single resources (§4.4);
-2. symbolically execute the graph (Fig. 7's Φ_G) with the
-   commutativity reduction (Fig. 9a): when a fringe resource commutes
-   with every other remaining resource that could be scheduled before
-   or after it, explore only that resource next instead of branching;
+2. symbolically execute the graph (Fig. 7's Φ_G) over the
+   *reachable-state DAG* rather than the order tree: the worklist is
+   keyed on ``(frozenset(remaining), state_fingerprint)``, so when two
+   interleavings converge on the same symbolic state the subtree is
+   explored once (states are hash-consed term DAGs — fingerprint
+   equality is uid comparison, see
+   :meth:`repro.smt.state.SymbolicState.fingerprint`).  The
+   commutativity reduction (Fig. 9a) still applies first: when a
+   fringe resource commutes with every other remaining resource that
+   could be scheduled before or after it, explore only that resource
+   next instead of branching;
 3. assert that some explored final state differs from the first one —
    state equality is transitive at a fixed initial state, so comparing
-   every branch against branch 0 is equivalent to comparing all pairs;
+   every branch against branch 0 is equivalent to comparing all pairs.
+   Final states are already deduplicated by fingerprint (one witness
+   order kept per state), so the solver only ever sees genuinely
+   different finals;
 4. hand the formula to the SAT backend.  SAT ⇒ non-deterministic, with
    a decoded witness initial filesystem and two diverging orders.
+
+The memoization changes the Fig. 13 asymptotics: n unordered,
+mutually-conflicting writers induce n! orders but only O(n·2^n)
+distinct (remaining, state) pairs, so exploration collapses from the
+factorial order tree to the subset/state lattice.
 """
 
 from __future__ import annotations
@@ -24,7 +39,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.analysis.commutativity import Footprint, footprint, footprints_commute
+from repro.analysis.commutativity import (
+    Footprint,
+    commutativity_matrix,
+    footprint,
+)
 from repro.analysis.elimination import EliminationReport, eliminate_resources
 from repro.analysis.localize import RaceReport, localize_race
 from repro.analysis.pruning import PruneReport, prune_manifest
@@ -55,6 +74,11 @@ class DeterminismOptions:
     use_pruning: bool = True
     use_elimination: bool = True
     use_simplification: bool = True
+    #: Key the exploration worklist on (remaining, state fingerprint)
+    #: so converging interleavings share one subtree.  Off, the
+    #: exploration degenerates to the order tree — the naive
+    #: order-enumerating oracle the property tests compare against.
+    use_memoization: bool = True
     well_formed_initial: bool = True
     max_branches: int = 5000
     timeout_seconds: Optional[float] = None
@@ -75,6 +99,19 @@ class DeterminismStats:
     contended_paths: int = 0
     modeled_paths: int = 0
     branches_explored: int = 0
+    #: Transitions that landed on an already-visited
+    #: (remaining, state-fingerprint) key: each one is a whole subtree
+    #: of the order tree that was *not* re-explored.
+    memo_hits: int = 0
+    #: Distinct exploration states reached by two or more
+    #: interleavings — the convergence points of the reachable-state
+    #: DAG (≤ ``memo_hits``; a state arrived at k times contributes
+    #: one merge and k-1 memo hits).
+    states_merged: int = 0
+    #: Final states surviving fingerprint deduplication — what the SAT
+    #: loop actually compares (the order tree has one final per
+    #: explored order; the DAG keeps one witness order per state).
+    distinct_finals: int = 0
     sat_vars: int = 0
     sat_clauses: int = 0
     #: Assumption-based checks issued on the shared solver: one per
@@ -83,6 +120,11 @@ class DeterminismStats:
     sat_queries: int = 0
     #: Variables removed by CNF preprocessing before search.
     vars_eliminated: int = 0
+    #: CDCL conflicts/decisions summed over every check on the shared
+    #: solver (including localization) — the ``--profile`` view.
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    explore_seconds: float = 0.0
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -106,7 +148,27 @@ class DeterminismResult:
 
 
 class _Explorer:
-    """Symbolic execution of Φ_G with the Fig. 9a reduction."""
+    """Symbolic execution of Φ_G over the reachable-state DAG.
+
+    An iterative, worklist-driven traversal replacing the recursive
+    order-tree walk.  Each worklist entry is
+    ``(remaining, state, order)``; expansion applies every schedulable
+    resource (after the Fig. 9a commutativity reduction) and memoizes
+    successors on ``(frozenset(remaining), state.fingerprint())``.
+    When two interleavings converge on the same key, the second
+    arrival is a :attr:`memo_hits` and its subtree is not re-explored
+    — the n! order tree collapses to the distinct-state count.  Final
+    states fall out of the same memo (the key with ``remaining`` empty),
+    so :attr:`finals` is already deduplicated by fingerprint, holding
+    one witness order per distinct final state for ``localize`` and
+    ``--explain``.
+
+    Per-branch costs are hoisted into ``__init__``: the full pairwise
+    commutativity matrix and every node's descendant and predecessor
+    sets are computed once (previously ``footprints_commute`` and
+    ``nx.descendants`` ran on every ``_explore`` call, O(V·E) per
+    branch).
+    """
 
     def __init__(
         self,
@@ -121,84 +183,112 @@ class _Explorer:
         self.bank = bank
         self.options = options
         self.deadline = deadline
+        nodes = list(graph.nodes)
         self.prints: Dict[NodeId, Footprint] = {
-            n: footprint(programs[n]) for n in graph.nodes
+            n: footprint(programs[n]) for n in nodes
         }
+        self.commutes = commutativity_matrix(self.prints)
+        self.descendants: Dict[NodeId, frozenset] = {
+            n: frozenset(nx.descendants(graph, n)) for n in nodes
+        }
+        self.predecessors: Dict[NodeId, frozenset] = {
+            n: frozenset(graph.predecessors(n)) for n in nodes
+        }
+        self.sort_key: Dict[NodeId, str] = {n: str(n) for n in nodes}
         self.branches = 0
+        self.memo_hits = 0
+        self.states_merged = 0
         self.finals: List[Tuple[SymbolicState, List[NodeId]]] = []
 
     def run(self, init: SymbolicState) -> None:
-        remaining = set(self.graph.nodes)
-        indegree = {
-            n: self.graph.in_degree(n) for n in self.graph.nodes
-        }
-        self._explore(remaining, indegree, init, [])
+        use_memo = self.options.use_memoization
+        #: (frozenset(remaining), fingerprint) -> arrival count.  The
+        #: first arrival enqueues the state; later ones only bump the
+        #: counters.
+        arrivals: Dict[tuple, int] = {}
+        root = frozenset(self.graph.nodes)
+        stack: List[Tuple[frozenset, SymbolicState, tuple]] = [
+            (root, init, ())
+        ]
+        while stack:
+            remaining, state, order = stack.pop()
+            if not remaining:
+                self.finals.append((state, list(order)))
+                continue
+            self._check_budget()
+            fringe = sorted(
+                (
+                    n
+                    for n in remaining
+                    if not (self.predecessors[n] & remaining)
+                ),
+                key=self.sort_key.__getitem__,
+            )
+            assert fringe, "resource graph has a cycle"
+            chosen: Optional[List[NodeId]] = None
+            if self.options.use_commutativity:
+                for n in fringe:
+                    if self._commutes_with_all(n, remaining):
+                        chosen = [n]
+                        break
+            if chosen is None:
+                chosen = fringe
+            pending = []
+            for n in chosen:
+                self.branches += 1
+                next_state = apply_expr(
+                    self.bank, state, self.programs[n]
+                )
+                next_remaining = remaining - {n}
+                if use_memo:
+                    key = (next_remaining, next_state.fingerprint())
+                    count = arrivals.get(key, 0)
+                    arrivals[key] = count + 1
+                    if count:
+                        self.memo_hits += 1
+                        if count == 1:
+                            self.states_merged += 1
+                        continue
+                pending.append(
+                    (next_remaining, next_state, order + (n,))
+                )
+            # Reversed push keeps pop order equal to the old recursive
+            # DFS's, so finals[0] is the same base order as before.
+            stack.extend(reversed(pending))
 
-    def _explore(
-        self,
-        remaining: set,
-        indegree: Dict[NodeId, int],
-        state: SymbolicState,
-        order: List[NodeId],
-    ) -> None:
-        if not remaining:
-            self.finals.append((state, list(order)))
-            return
-        self._check_budget()
-        fringe = sorted(
-            (n for n in remaining if indegree[n] == 0), key=str
-        )
-        assert fringe, "resource graph has a cycle"
-        chosen: Optional[List[NodeId]] = None
-        if self.options.use_commutativity:
-            for n in fringe:
-                if self._commutes_with_all(n, remaining):
-                    chosen = [n]
-                    break
-        if chosen is None:
-            chosen = fringe
-        for n in chosen:
-            self.branches += 1
-            next_state = apply_expr(self.bank, state, self.programs[n])
-            remaining.discard(n)
-            touched = []
-            for succ in self.graph.successors(n):
-                if succ in remaining:
-                    indegree[succ] -= 1
-                    touched.append(succ)
-            order.append(n)
-            self._explore(remaining, indegree, next_state, order)
-            order.pop()
-            for succ in touched:
-                indegree[succ] += 1
-            remaining.add(n)
-
-    def _commutes_with_all(self, n: NodeId, remaining: set) -> bool:
+    def _commutes_with_all(self, n: NodeId, remaining: frozenset) -> bool:
         """True when n commutes with every other remaining resource
         that is not a descendant of n (descendants always run after n
         in every linearization, so they never need to swap past it)."""
-        descendants = nx.descendants(self.graph, n)
-        fp = self.prints[n]
+        descendants = self.descendants[n]
+        commutes = self.commutes[n]
         for m in remaining:
             if m == n or m in descendants:
                 continue
-            if not footprints_commute(fp, self.prints[m]):
+            if not commutes[m]:
                 return False
         return True
 
     def _check_budget(self) -> None:
         if self.branches > self.options.max_branches:
             raise AnalysisBudgetExceeded(
-                f"exceeded {self.options.max_branches} exploration branches "
-                "(the manifest has too many unordered, non-commuting "
-                "resources — see Fig. 13)",
+                f"exceeded {self.options.max_branches} exploration "
+                f"branches with {self.memo_hits} memo hits over "
+                f"{self.states_merged} merged states and "
+                f"{len(self.finals)} finals so far (the manifest has "
+                "too many unordered, non-commuting resources — "
+                "see Fig. 13)",
                 branches=self.branches,
+                memo_hits=self.memo_hits,
+                states_merged=self.states_merged,
             )
         if self.deadline is not None and time.perf_counter() > self.deadline:
             raise AnalysisBudgetExceeded(
                 "determinism check timed out",
                 branches=self.branches,
                 wall_clock=True,
+                memo_hits=self.memo_hits,
+                states_merged=self.states_merged,
             )
 
 
@@ -264,6 +354,7 @@ def check_determinism(
     if work_graph.number_of_nodes() <= 1:
         stats.total_seconds = time.perf_counter() - start
         stats.modeled_paths = stats.paths_after_pruning
+        stats.distinct_finals = 1  # the single (possibly empty) order
         return DeterminismResult(True, stats)
 
     bank = TermBank()
@@ -273,16 +364,21 @@ def check_determinism(
     stats.modeled_paths = len(domains)
     init = initial_state(bank, domains)
 
-    encode_start = time.perf_counter()
+    explore_start = time.perf_counter()
     explorer = _Explorer(work_graph, work_programs, bank, options, deadline)
     explorer.run(init)
+    stats.explore_seconds = time.perf_counter() - explore_start
     stats.branches_explored = explorer.branches
+    stats.memo_hits = explorer.memo_hits
+    stats.states_merged = explorer.states_merged
     finals = explorer.finals
+    stats.distinct_finals = len(finals)
 
     if len(finals) <= 1:
-        stats.encode_seconds = time.perf_counter() - encode_start
         stats.total_seconds = time.perf_counter() - start
         return DeterminismResult(True, stats)
+
+    encode_start = time.perf_counter()
 
     # All order-pair queries for this manifest share one incrementally
     # reused solver: the initial-state constraints are asserted once,
@@ -309,6 +405,8 @@ def check_determinism(
                 "determinism check timed out",
                 branches=explorer.branches,
                 wall_clock=True,
+                memo_hits=explorer.memo_hits,
+                states_merged=explorer.states_merged,
             )
         state_i, _ = finals[i]
         encode_start = time.perf_counter()
@@ -334,6 +432,8 @@ def check_determinism(
     stats.sat_vars = query.cnf.num_vars
     stats.sat_clauses = len(query.cnf.clauses)
     stats.solve_seconds = query.solve_seconds
+    stats.sat_conflicts = query.conflicts
+    stats.sat_decisions = query.decisions
     stats.vars_eliminated = result.eliminated_vars if result else 0
     stats.total_seconds = time.perf_counter() - start
 
@@ -354,6 +454,7 @@ def check_determinism(
             use_pruning=options.use_pruning,
             use_elimination=False,
             use_simplification=options.use_simplification,
+            use_memoization=options.use_memoization,
             well_formed_initial=options.well_formed_initial,
             max_branches=options.max_branches,
             timeout_seconds=options.timeout_seconds,
@@ -378,8 +479,11 @@ def check_determinism(
         sat_selector,
         max_conflicts=options.max_conflicts,
         deadline=deadline,
+        descendants=explorer.descendants,
     )
     stats.solve_seconds = query.solve_seconds
+    stats.sat_conflicts = query.conflicts
+    stats.sat_decisions = query.decisions
     outcome_pair = None
     order_pair = None
     if orders is not None:

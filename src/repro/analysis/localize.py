@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -92,6 +92,7 @@ def localize_race(
     pair_selector: int,
     max_conflicts: Optional[int] = None,
     deadline: Optional[float] = None,
+    descendants: Optional[Mapping[NodeId, frozenset]] = None,
 ) -> Optional[RaceReport]:
     """Map a diverging pair of symbolic final states to the racing
     resource pair and contended path; see the module docstring.
@@ -106,6 +107,12 @@ def localize_race(
     cannot name a pair (e.g. single-resource divergence after
     elimination) or when the budget is exhausted before the first
     unsat core exists.
+
+    ``descendants`` — optional node → descendant-set mapping of
+    ``graph`` (the explorer precomputes it); when provided, the
+    pair-ranking pass answers "are a and b ordered?" with two set
+    lookups instead of an ``nx.has_path`` traversal per candidate
+    pair.
     """
     checks_before = query.checks
     selectors: Dict[int, Optional[Path]] = {}
@@ -153,7 +160,12 @@ def localize_race(
     )
     ok_divergence = s_ok in core
     pair = _pick_pair(
-        core_paths, base_order, other_order, graph, programs
+        core_paths,
+        base_order,
+        other_order,
+        graph,
+        programs,
+        descendants=descendants,
     )
     if pair is None:
         return None
@@ -238,6 +250,7 @@ def _pick_pair(
     other_order: Sequence[NodeId],
     graph: "nx.DiGraph",
     programs: Dict[NodeId, fx.Expr],
+    descendants: Optional[Mapping[NodeId, frozenset]] = None,
 ) -> Optional[Tuple[NodeId, NodeId, Optional[Path]]]:
     """The racing pair: two resources that swap relative order between
     the two diverging linearizations, are unordered in the dependency
@@ -250,6 +263,11 @@ def _pick_pair(
     }
     core_set = set(core_paths)
 
+    def ordered(a: NodeId, b: NodeId) -> bool:
+        if descendants is not None:
+            return b in descendants[a] or a in descendants[b]
+        return nx.has_path(graph, a, b) or nx.has_path(graph, b, a)
+
     swapped: List[Tuple[NodeId, NodeId]] = []
     nodes = [n for n in base_order if n in other_position]
     for i, a in enumerate(nodes):
@@ -257,7 +275,7 @@ def _pick_pair(
             if (position[a] < position[b]) != (
                 other_position[a] < other_position[b]
             ):
-                if nx.has_path(graph, a, b) or nx.has_path(graph, b, a):
+                if ordered(a, b):
                     continue  # ordered by dependencies: cannot race
                 swapped.append(tuple(sorted((a, b), key=str)))
 

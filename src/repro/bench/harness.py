@@ -15,8 +15,13 @@ setup:
 * **Fig. 12** — idempotence-check time per benchmark (fixed variants
   stand in for the non-deterministic six, per §5).
 * **Fig. 13** — determinacy-analysis time against n unordered,
-  mutually conflicting file writes (n = 2..6): the commutativity check
-  is useless by construction and the exploration grows factorially.
+  mutually conflicting file writes: the commutativity check is useless
+  by construction, so the order space is the full n!.  The
+  reachable-state memoization collapses the walk to the subset/state
+  lattice (n + n(n-1)·2^(n-2) edges — see
+  ``fig13_exploration_rows``), so the curve is exponential rather
+  than factorial; the paper's factorial blow-up is still reproducible
+  with ``DeterminismOptions(use_memoization=False)``.
 
 Absolute numbers differ from the paper (different machine, a pure
 Python CDCL solver instead of Z3); the *shapes* are the reproduction
@@ -215,6 +220,64 @@ def fig13_rows(
             rows.append((n, time.perf_counter() - start))
         except AnalysisBudgetExceeded:
             rows.append((n, TIMEOUT))
+    return rows
+
+
+def fig13_lattice_bound(n: int) -> int:
+    """Edge count of the Fig. 13 subset/state lattice.
+
+    A reachable exploration state on the n-conflicting-writers
+    workload is a (subset applied, last writer) pair, so the memoized
+    walk has exactly n + n(n-1)·2^(n-2) transitions — versus
+    sum_k n!/(n-k)! branches for the order tree.  The single source of
+    truth for every structural memoization guard (bench asserts,
+    ``tools/check_branch_budget.py``, unit tests).
+    """
+    if n < 2:
+        return n
+    return n + n * (n - 1) * 2 ** (n - 2)
+
+
+def fig13_exploration_rows(
+    ns: Sequence[int] = (2, 3, 4, 5, 6),
+    timeout: float = DEFAULT_TIMEOUT,
+    max_branches: int = 500_000,
+) -> List[Tuple[int, int, int, int, float]]:
+    """(n, branches, memo hits, distinct finals, seconds) for the
+    Fig. 13 workload — the reachable-state-DAG exploration profile.
+
+    The order tree over n unordered conflicting writers has
+    sum_k n!/(n-k)! branches; the subset/state lattice the memoized
+    exploration walks has only n + n(n-1)·2^(n-2) edges (a state is a
+    (subset applied, last writer) pair).  Sub-factorial branch
+    growth with nonzero memo hits is the structural signature the
+    bench-regression job guards (wall clock alone would also pass on a
+    faster machine with broken memoization).
+    """
+    rows: List[Tuple[int, int, int, int, float]] = []
+    for n in ns:
+        graph, programs = synthetic_conflict_graph(n)
+        options = DeterminismOptions(
+            timeout_seconds=timeout, max_branches=max_branches
+        )
+        start = time.perf_counter()
+        try:
+            result = check_determinism(graph, programs, options)
+        except AnalysisBudgetExceeded as exc:
+            rows.append(
+                (n, exc.branches, exc.memo_hits, -1, TIMEOUT)
+            )
+            continue
+        stats = result.stats
+        rows.append(
+            (
+                n,
+                stats.branches_explored,
+                stats.memo_hits,
+                stats.distinct_finals,
+                time.perf_counter() - start,
+            )
+        )
     return rows
 
 

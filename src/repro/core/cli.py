@@ -115,6 +115,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="on non-determinism, narrate both diverging orders step "
         "by step on the witness machine state",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the verification: cProfile's top functions by "
+        "cumulative time, plus the explore/encode/solve phase split "
+        "from the determinacy stats",
+    )
     return parser
 
 
@@ -135,8 +142,21 @@ def run_verify(argv) -> int:
     tool = Rehearsal(
         context=context, options=_options_from_args(args), node_name=args.node
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     report = tool.verify(source, name=args.manifest)
+    if profiler is not None:
+        profiler.disable()
     print(render_report(report))
+    if profiler is not None:
+        from repro.core.report import render_profile
+
+        print()
+        print(render_profile(report, profiler))
     if (
         args.explain
         and report.determinism is not None

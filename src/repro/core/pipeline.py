@@ -57,12 +57,17 @@ class VerificationReport:
 
     @property
     def solver_seconds(self) -> float:
-        """Time spent encoding and solving (excludes parse/compile):
-        the part of a verification the verdict cache saves on a hit."""
+        """Time spent exploring, encoding and solving (excludes
+        parse/compile): the part of a verification the verdict cache
+        saves on a hit."""
         seconds = 0.0
         if self.determinism is not None:
             stats = self.determinism.stats
-            seconds += stats.encode_seconds + stats.solve_seconds
+            seconds += (
+                stats.explore_seconds
+                + stats.encode_seconds
+                + stats.solve_seconds
+            )
         if self.idempotence is not None:
             seconds += self.idempotence.total_seconds
         return seconds

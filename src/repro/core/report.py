@@ -65,12 +65,47 @@ def render_determinism(result: DeterminismResult) -> str:
         f"{stats.paths_before_pruning} stateful paths, "
         f"{stats.paths_after_pruning} after pruning, "
         f"{stats.contended_paths} contended; "
-        f"{stats.branches_explored} branches; "
+        f"{stats.branches_explored} branches, "
+        f"{stats.memo_hits} memo hit"
+        + ("" if stats.memo_hits == 1 else "s")
+        + f" / {stats.states_merged} states merged, "
+        f"{stats.distinct_finals} distinct finals; "
         f"{stats.sat_vars} vars / {stats.sat_clauses} clauses "
         f"in {stats.sat_queries} quer"
         + ("y" if stats.sat_queries == 1 else "ies")
         + f"; {stats.total_seconds:.3f}s]"
     )
+    return "\n".join(lines)
+
+
+#: Functions shown by ``rehearsal verify --profile``.
+PROFILE_TOP_N = 15
+
+
+def render_profile(report: VerificationReport, profiler) -> str:
+    """The ``--profile`` view: the determinacy phase split
+    (explore / encode / solve) followed by cProfile's top functions by
+    cumulative time."""
+    import io
+    import pstats
+
+    lines: List[str] = []
+    if report.determinism is not None:
+        stats = report.determinism.stats
+        lines.append(
+            "determinacy phase split: "
+            f"explore {stats.explore_seconds:.3f}s, "
+            f"encode {stats.encode_seconds:.3f}s, "
+            f"solve {stats.solve_seconds:.3f}s "
+            f"({stats.sat_queries} quer"
+            + ("y" if stats.sat_queries == 1 else "ies")
+            + f", {stats.sat_conflicts} conflicts, "
+            f"{stats.sat_decisions} decisions)"
+        )
+    buffer = io.StringIO()
+    ps = pstats.Stats(profiler, stream=buffer)
+    ps.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    lines.append(buffer.getvalue().rstrip())
     return "\n".join(lines)
 
 

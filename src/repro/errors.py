@@ -74,9 +74,18 @@ class AnalysisBudgetExceeded(ReproError):
         elapsed: float = 0.0,
         branches: int = 0,
         wall_clock: bool = False,
+        memo_hits: int = 0,
+        states_merged: int = 0,
     ):
         self.elapsed = elapsed
         self.branches = branches
+        # Exploration-memoization counters at the moment the budget
+        # blew: zero memo hits on a large manifest points at a
+        # memoization regression (or a genuinely tree-shaped state
+        # space), nonzero ones at a state space that is simply huge —
+        # diagnosable from the exception alone, without a re-run.
+        self.memo_hits = memo_hits
+        self.states_merged = states_merged
         # Wall-clock timeouts depend on machine load, unlike the
         # deterministic exploration budget; the verdict cache must not
         # persist them.

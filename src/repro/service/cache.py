@@ -25,7 +25,7 @@ from typing import Optional, Union
 
 from repro import __version__
 from repro.analysis.determinism import DeterminismOptions
-from repro.service.schema import ManifestResult
+from repro.service.schema import SCHEMA_VERSION, ManifestResult
 
 _ENTRY_SUFFIX = ".json"
 
@@ -49,9 +49,13 @@ def cache_key(
     """SHA-256 over everything the verdict depends on.
 
     Any change to the manifest text, the analysis options, the target
-    platform, the node selection, the package-modeling knobs, or the
-    tool version produces a new key, so stale verdicts can never be
-    served — they are simply never found.
+    platform, the node selection, the package-modeling knobs, the
+    result-row schema version, or the tool version produces a new key,
+    so stale verdicts can never be served — they are simply never
+    found.  Keying on :data:`repro.service.schema.SCHEMA_VERSION`
+    rotates entries whose rows predate newly added fields (e.g. the
+    v2 exploration statistics) instead of deserializing them
+    incompletely.
     """
     options = options or DeterminismOptions()
     material = json.dumps(
@@ -61,6 +65,7 @@ def cache_key(
             "platform": platform,
             "node": node_name,
             "version": version,
+            "schema": SCHEMA_VERSION,
             "synthesize_packages": synthesize_packages,
             "package_semantics": package_semantics,
         },

@@ -15,7 +15,13 @@ from typing import Dict, List, Optional
 
 from repro.core.pipeline import VerificationReport
 
-SCHEMA_VERSION = 1
+#: Version 2: verdict rows grew the exploration statistics
+#: (``branches_explored``, ``memo_hits``, ``states_merged``,
+#: ``distinct_finals``).  The version participates in the verdict
+#: cache key (:func:`repro.service.cache.cache_key`), so entries
+#: written under an older schema rotate out instead of deserializing
+#: incompletely.
+SCHEMA_VERSION = 2
 
 #: ``ManifestResult.status`` values.
 STATUS_OK = "ok"  # verified: deterministic and idempotent
@@ -42,6 +48,13 @@ class ManifestResult:
     error_transient: bool = False  # load-dependent failure; never cached
     seconds: float = 0.0
     solver_seconds: float = 0.0
+    #: Exploration statistics of the determinacy check (schema v2):
+    #: how much of the order space was walked, and how much the
+    #: reachable-state memoization collapsed it.
+    branches_explored: int = 0
+    memo_hits: int = 0
+    states_merged: int = 0
+    distinct_finals: int = 0
     sha256: str = ""
     cache_key: str = ""
     cached: bool = False
@@ -75,6 +88,11 @@ class ManifestResult:
         if race is not None:
             race_pair = [str(race.resource_a), str(race.resource_b)]
             race_path = str(race.path) if race.path is not None else None
+        det_stats = (
+            report.determinism.stats
+            if report.determinism is not None
+            else None
+        )
         return cls(
             name=report.manifest_name,
             status=status,
@@ -87,6 +105,14 @@ class ManifestResult:
             error_transient=report.error_transient,
             seconds=report.total_seconds,
             solver_seconds=report.solver_seconds,
+            branches_explored=(
+                det_stats.branches_explored if det_stats else 0
+            ),
+            memo_hits=det_stats.memo_hits if det_stats else 0,
+            states_merged=det_stats.states_merged if det_stats else 0,
+            distinct_finals=(
+                det_stats.distinct_finals if det_stats else 0
+            ),
             sha256=sha256,
             cache_key=cache_key,
         )

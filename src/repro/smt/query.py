@@ -158,6 +158,14 @@ class IncrementalQuery:
         self._selectors: Dict[int, str] = {}  # var id -> name
         self.checks = 0
         self.solve_seconds = 0.0
+        #: CDCL work over every ``check`` on this solver (mirrors the
+        #: shared solver's lifetime totals) — wall-clock-free effort
+        #: counters for profiling and regression guards; each
+        #: ``QueryResult`` reports its own per-call delta, so
+        #: learned-clause reuse shows up as later checks costing few
+        #: conflicts.
+        self.conflicts = 0
+        self.decisions = 0
 
     # -- building -----------------------------------------------------------
 
@@ -194,6 +202,13 @@ class IncrementalQuery:
         elapsed = time.perf_counter() - start
         self.checks += 1
         self.solve_seconds += elapsed
+        # SolveResult counters are the shared solver's lifetime
+        # totals, so this call's share is the delta since the last
+        # check.
+        call_conflicts = result.conflicts - self.conflicts
+        call_decisions = result.decisions - self.decisions
+        self.conflicts = result.conflicts
+        self.decisions = result.decisions
         named: Dict[str, bool] = {}
         if result.sat:
             model = result.assignment
@@ -217,8 +232,8 @@ class IncrementalQuery:
                 self._pre.stats.eliminated_vars if self._pre else 0
             ),
             solve_seconds=elapsed,
-            conflicts=result.conflicts,
-            decisions=result.decisions,
+            conflicts=call_conflicts,
+            decisions=call_decisions,
         )
 
     # -- internals ----------------------------------------------------------

@@ -7,8 +7,8 @@ occurred) with a symbolic filesystem mapping every domain path to a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
 
 from repro.fs.filesystem import FileSystem
 from repro.fs.paths import Path
@@ -28,6 +28,34 @@ from repro.smt.values import (
 class SymbolicState:
     ok: Term
     fs: Mapping[Path, SymbolicValue]
+    #: Lazily computed by :meth:`fingerprint`; excluded from equality.
+    _fp: Optional[tuple] = field(default=None, compare=False, repr=False)
+
+    def fingerprint(self) -> tuple:
+        """Structural identity of the whole state: the ``ok`` term's
+        uid plus every path's value fingerprint.  Terms are hash-consed
+        in the bank, so fingerprint equality means every constituent
+        formula is pointer-equal — two states with equal fingerprints
+        are the same function of the initial filesystem, and any
+        exploration continuing from them is identical.  The determinacy
+        analysis keys its reachable-state memo table on this (paired
+        with the set of remaining resources).
+
+        Cost: O(paths) on first call (value fingerprints are cached on
+        the shared :class:`SymbolicValue` objects), O(1) after — the
+        tuple is cached on the state.
+        """
+        fp = self._fp
+        if fp is None:
+            fp = (
+                self.ok.uid,
+                tuple(
+                    (path, value.fingerprint())
+                    for path, value in self.fs.items()
+                ),
+            )
+            object.__setattr__(self, "_fp", fp)
+        return fp
 
     def value(self, path: Path) -> SymbolicValue:
         try:

@@ -148,10 +148,27 @@ def _pred_nodes(pred: fx.Pred):
 class SymbolicValue:
     """Indicator map: domain value → term (formula for holding it)."""
 
-    __slots__ = ("indicators",)
+    __slots__ = ("indicators", "_fingerprint")
 
     def __init__(self, indicators: Dict[DomainValue, Term]):
         self.indicators = indicators
+        self._fingerprint: Optional[frozenset] = None
+
+    def fingerprint(self) -> frozenset:
+        """Order-independent structural identity: the set of
+        (domain value, term uid) pairs.  Terms are hash-consed by
+        their bank, so within one bank two values with equal
+        fingerprints denote the same function of the initial state —
+        uid comparison stands in for structural term equality.
+        Computed once and cached (values are immutable)."""
+        fp = self._fingerprint
+        if fp is None:
+            fp = frozenset(
+                (value, term.uid)
+                for value, term in self.indicators.items()
+            )
+            self._fingerprint = fp
+        return fp
 
     @staticmethod
     def const(bank: TermBank, value: DomainValue) -> "SymbolicValue":

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fail CI when determinacy exploration walks too many branches.
+
+Usage:  PYTHONPATH=src python tools/check_branch_budget.py
+
+Wall-clock regression guards (``compare_baseline.py``) conflate
+machine speed with algorithmic regressions; this check is structural.
+It runs the determinacy analysis over the whole §6 corpus plus the
+Fig. 13 synthetic workload under the production configuration and
+asserts that
+
+* every corpus manifest stays within a fixed per-manifest branch
+  budget (the corpus is small after elimination/commutativity — a
+  blow-up here means a reduction broke);
+* the corpus total stays within a fixed overall budget;
+* the Fig. 13 workload at n = 6 stays on the subset/state lattice
+  (sub-factorial branches, nonzero memo hits) — the memoization
+  regression tripwire.
+
+Budgets are deliberately loose (≈4x current numbers) so routine
+modeling changes pass, while a lost reduction — which changes the
+asymptotics, not the constant — still fails.
+
+Exit codes: 0 — within budget; 1 — budget exceeded.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.determinism import DeterminismOptions, check_determinism
+from repro.bench.harness import fig13_lattice_bound, synthetic_conflict_graph
+from repro.core.pipeline import Rehearsal
+from repro.corpus import BENCHMARK_NAMES, load_source
+
+#: Current corpus numbers: 31 branches max (irc-nondet), 51 total.
+MAX_BRANCHES_PER_MANIFEST = 150
+MAX_BRANCHES_TOTAL = 250
+
+#: Fig. 13 at n = 6: the subset/state lattice has 486 edges (see
+#: :func:`repro.bench.harness.fig13_lattice_bound`); the order tree
+#: has 1956 branches.  Anything above the lattice bound means
+#: memoization stopped merging.
+FIG13_N = 6
+FIG13_MAX_BRANCHES = fig13_lattice_bound(FIG13_N)
+
+
+def main() -> int:
+    tool = Rehearsal()
+    failures = []
+    total = 0
+    width = max(len(n) for n in BENCHMARK_NAMES)
+    print(
+        f"{'benchmark'.ljust(width)}  branches  memo hits  "
+        "merged  finals"
+    )
+    for name in BENCHMARK_NAMES:
+        graph, programs = tool.compile(load_source(name))
+        stats = check_determinism(
+            graph, programs, DeterminismOptions()
+        ).stats
+        total += stats.branches_explored
+        print(
+            f"{name.ljust(width)}  {stats.branches_explored:8d}  "
+            f"{stats.memo_hits:9d}  {stats.states_merged:6d}  "
+            f"{stats.distinct_finals:6d}"
+        )
+        if stats.branches_explored > MAX_BRANCHES_PER_MANIFEST:
+            failures.append(
+                f"{name}: {stats.branches_explored} branches exceed "
+                f"the per-manifest budget of {MAX_BRANCHES_PER_MANIFEST}"
+            )
+    print(f"{'TOTAL'.ljust(width)}  {total:8d}")
+    if total > MAX_BRANCHES_TOTAL:
+        failures.append(
+            f"corpus total {total} branches exceeds the budget of "
+            f"{MAX_BRANCHES_TOTAL}"
+        )
+
+    graph, programs = synthetic_conflict_graph(FIG13_N)
+    stats = check_determinism(
+        graph,
+        programs,
+        DeterminismOptions(max_branches=500_000),
+    ).stats
+    print(
+        f"fig13 n={FIG13_N}: {stats.branches_explored} branches, "
+        f"{stats.memo_hits} memo hits, "
+        f"{stats.distinct_finals} distinct finals "
+        f"(lattice bound {FIG13_MAX_BRANCHES}, order tree 1956)"
+    )
+    if stats.branches_explored > FIG13_MAX_BRANCHES:
+        failures.append(
+            f"fig13 n={FIG13_N}: {stats.branches_explored} branches "
+            f"exceed the state-lattice bound {FIG13_MAX_BRANCHES} — "
+            "exploration memoization has regressed"
+        )
+    if stats.memo_hits == 0:
+        failures.append(
+            f"fig13 n={FIG13_N}: zero memo hits — interleavings no "
+            "longer converge on the reachable-state DAG"
+        )
+
+    if failures:
+        print("\nexploration budget exceeded:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nexploration within budget.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
