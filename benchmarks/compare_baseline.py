@@ -24,11 +24,20 @@ After calibration a figure *regresses* when its seconds exceed
 ``--min-abs`` seconds — the second guard keeps millisecond-scale
 figures from tripping the job on scheduler noise while staying small
 enough (0.25s default) that the factor, not the absolute guard,
-decides for every corpus-scale figure.  A figure present in the
-baseline but missing from the current run also fails (a silently
-dropped benchmark is a regression of coverage, not a speedup).
+decides for every corpus-scale figure.
 
-Exit codes: 0 — no regression; 1 — regression or missing figure;
+The figure *sets* must match, both ways: a figure present in the
+baseline but absent from the current run fails (a silently dropped
+benchmark is a regression of coverage, not a speedup), and a figure
+present only in the current run fails too (the signature of a renamed
+key — the old name would otherwise fail as "missing" while the new one
+sails through ungated; both failures name the figure so a rename reads
+as a rename).  Adding a benchmark on purpose means regenerating
+``benchmarks/baseline.json`` in the same change, or passing
+``--allow-new`` explicitly.  Entries without a numeric ``seconds``
+field fail by name instead of crashing the comparison.
+
+Exit codes: 0 — no regression; 1 — regression or figure-set mismatch;
 2 — unreadable input.
 """
 
@@ -46,6 +55,21 @@ def load(path: str) -> dict:
     if not isinstance(figures, dict):
         raise ValueError(f"{path}: no 'figures' object")
     return figures
+
+
+def seconds_of(figures: dict, key: str):
+    """The numeric ``seconds`` of one figure entry, or None (with a
+    reason) when the entry is malformed — a malformed entry must fail
+    by name, not crash the whole comparison or pass as 0.0."""
+    entry = figures.get(key)
+    if not isinstance(entry, dict):
+        return None, f"figure {key!r}: entry is not an object"
+    raw = entry.get("seconds")
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        return None, (
+            f"figure {key!r}: 'seconds' is {raw!r}, not a number"
+        )
+    return float(raw), None
 
 
 def main() -> int:
@@ -73,6 +97,13 @@ def main() -> int:
         "the baseline machine and this one; '' disables calibration "
         "(default: fig11a, which never touches the SAT solver)",
     )
+    parser.add_argument(
+        "--allow-new",
+        action="store_true",
+        help="tolerate figures present in the current run but absent "
+        "from the baseline (default: fail, so a renamed figure key "
+        "cannot dodge the gate)",
+    )
     args = parser.parse_args()
 
     try:
@@ -84,12 +115,10 @@ def main() -> int:
 
     scale = 1.0
     if args.calibrate:
-        base_cal = float(
-            baseline.get(args.calibrate, {}).get("seconds", 0.0)
-        )
-        cur_cal = float(
-            current.get(args.calibrate, {}).get("seconds", 0.0)
-        )
+        base_cal, _ = seconds_of(baseline, args.calibrate)
+        cur_cal, _ = seconds_of(current, args.calibrate)
+        base_cal = base_cal or 0.0
+        cur_cal = cur_cal or 0.0
         if base_cal > 0 and cur_cal > 0:
             scale = base_cal / cur_cal
             print(
@@ -104,16 +133,27 @@ def main() -> int:
             )
 
     failures = []
-    width = max((len(k) for k in baseline), default=10)
+    width = max((len(k) for k in set(baseline) | set(current)), default=10)
     print(f"{'figure'.ljust(width)}  {'baseline':>9}  {'current':>9}  verdict")
     for key in sorted(baseline):
-        base_seconds = float(baseline[key].get("seconds", 0.0))
-        entry = current.get(key)
-        if entry is None:
-            failures.append(f"figure {key!r} missing from current run")
+        base_seconds, problem = seconds_of(baseline, key)
+        if problem is not None:
+            failures.append(f"baseline {problem}")
+            print(f"{key.ljust(width)}   MALFORMED        ---   FAIL")
+            continue
+        if key not in current:
+            failures.append(
+                f"figure {key!r} missing from current run (renamed? "
+                "regenerate benchmarks/baseline.json)"
+            )
             print(f"{key.ljust(width)}  {base_seconds:8.2f}s   MISSING   FAIL")
             continue
-        cur_seconds = float(entry.get("seconds", 0.0)) * scale
+        cur_seconds, problem = seconds_of(current, key)
+        if problem is not None:
+            failures.append(f"current {problem}")
+            print(f"{key.ljust(width)}  {base_seconds:8.2f}s  MALFORMED  FAIL")
+            continue
+        cur_seconds *= scale
         limit = base_seconds * args.factor
         regressed = (
             cur_seconds > limit
@@ -132,14 +172,21 @@ def main() -> int:
                 f"exceeds {args.factor:.1f}x baseline "
                 f"({base_seconds:.2f}s)"
             )
-    for key in sorted(set(current) - set(baseline)):
-        print(
-            f"{key.ljust(width)}  {'---':>9}  "
-            f"{float(current[key].get('seconds', 0.0)) * scale:8.2f}s  new"
-        )
+    new_keys = sorted(set(current) - set(baseline))
+    for key in new_keys:
+        cur_seconds, problem = seconds_of(current, key)
+        shown = "  MALFORMED" if problem else f"{cur_seconds * scale:8.2f}s"
+        tag = "new" if args.allow_new else "NEW FAIL"
+        print(f"{key.ljust(width)}  {'---':>9}  {shown}  {tag}")
+        if not args.allow_new:
+            failures.append(
+                f"figure {key!r} present only in the current run "
+                "(renamed or added without regenerating "
+                "benchmarks/baseline.json; --allow-new to override)"
+            )
 
     if failures:
-        print("\nbenchmark regression detected:", file=sys.stderr)
+        print("\nbenchmark comparison failed:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1

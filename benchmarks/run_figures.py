@@ -46,9 +46,10 @@ SMOKE_NAMES = ("ntp-nondet", "ntp-fixed")
 JSON_SCHEMA_VERSION = 1
 
 
-def collect_figures(timeout: float, smoke: bool):
-    """Return a list of (key, title, header, rows, seconds), one per
-    figure, printing each table as soon as it is computed."""
+def figure_specs(timeout: float, smoke: bool):
+    """The figure list as (key, title, header, thunk) — lazy, so the
+    key set is inspectable without running anything (the baseline
+    comparison pins it)."""
     names = SMOKE_NAMES if smoke else tuple(BENCHMARK_NAMES)
     subset = " (smoke subset)" if smoke else ""
 
@@ -158,10 +159,20 @@ def collect_figures(timeout: float, smoke: bool):
             lambda: batch_cache_rows(names=names),
         )
     )
+    return figures
 
+
+def figure_keys(smoke: bool):
+    """The set of figure keys a run would report (without running)."""
+    return {key for key, _, _, _ in figure_specs(timeout=0.0, smoke=smoke)}
+
+
+def collect_figures(timeout: float, smoke: bool):
+    """Return a list of (key, title, header, rows, seconds), one per
+    figure, printing each table as soon as it is computed."""
     collected = []
     first = True
-    for key, title, header, thunk in figures:
+    for key, title, header, thunk in figure_specs(timeout, smoke):
         start = time.perf_counter()
         rows = thunk()
         seconds = time.perf_counter() - start

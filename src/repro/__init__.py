@@ -22,7 +22,10 @@ Public API tour:
 
 # The service package reads repro.__version__ (it keys the verdict
 # cache), so the version must be bound before repro.service imports.
-__version__ = "1.2.0"
+# 1.3.0: race localization validates candidate pairs concretely on the
+# witness (race_pair/race_path in cached rows can change), and the
+# differential-fuzzing subsystem (repro.testing) ships.
+__version__ = "1.3.0"
 
 from repro.analysis.determinism import DeterminismOptions, DeterminismResult
 from repro.analysis.idempotence import IdempotenceResult

@@ -480,6 +480,7 @@ def check_determinism(
         max_conflicts=options.max_conflicts,
         deadline=deadline,
         descendants=explorer.descendants,
+        witness=witness,
     )
     stats.solve_seconds = query.solve_seconds
     stats.sat_conflicts = query.conflicts

@@ -37,8 +37,9 @@ import networkx as nx
 
 from repro.analysis.commutativity import Footprint, footprint
 from repro.errors import SolverError
-from repro.fs import syntax as fx
+from repro.fs import FileSystem, syntax as fx
 from repro.fs.paths import Path
+from repro.fs.semantics import ERROR, eval_expr
 from repro.logic.terms import TermBank
 from repro.smt.query import IncrementalQuery
 from repro.smt.state import SymbolicState
@@ -49,6 +50,10 @@ NodeId = Hashable
 #: Cores at or below this size are minimized by deletion (one re-solve
 #: per member); larger cores only get the cheap iterated shrinking.
 DELETION_MINIMIZE_LIMIT = 8
+
+#: Concrete-evaluation budget for validating a candidate racing pair
+#: on the witness filesystem (see :func:`_concretely_racing`).
+VALIDATION_EVAL_LIMIT = 4000
 
 
 @dataclass
@@ -93,6 +98,7 @@ def localize_race(
     max_conflicts: Optional[int] = None,
     deadline: Optional[float] = None,
     descendants: Optional[Mapping[NodeId, frozenset]] = None,
+    witness: Optional[FileSystem] = None,
 ) -> Optional[RaceReport]:
     """Map a diverging pair of symbolic final states to the racing
     resource pair and contended path; see the module docstring.
@@ -113,6 +119,14 @@ def localize_race(
     pair-ranking pass answers "are a and b ordered?" with two set
     lookups instead of an ``nx.has_path`` traversal per candidate
     pair.
+
+    ``witness`` — the decoded non-determinism witness filesystem.
+    When given, candidate pairs are *validated concretely*: the best
+    candidate whose adjacent swap actually changes the outcome at some
+    state reachable from the witness wins (see :func:`_concretely_racing`)
+    — the static footprint ranking alone can name a pair that merely
+    shares an idempotently-ensured directory while the true race runs
+    through a parent directory one resource creates for the other.
     """
     checks_before = query.checks
     selectors: Dict[int, Optional[Path]] = {}
@@ -166,6 +180,7 @@ def localize_race(
         graph,
         programs,
         descendants=descendants,
+        witness=witness,
     )
     if pair is None:
         return None
@@ -251,11 +266,13 @@ def _pick_pair(
     graph: "nx.DiGraph",
     programs: Dict[NodeId, fx.Expr],
     descendants: Optional[Mapping[NodeId, frozenset]] = None,
+    witness: Optional[FileSystem] = None,
 ) -> Optional[Tuple[NodeId, NodeId, Optional[Path]]]:
     """The racing pair: two resources that swap relative order between
     the two diverging linearizations, are unordered in the dependency
     graph, and have conflicting footprints — preferring pairs that
-    contend on a path from the unsat core."""
+    contend on a path from the unsat core, concretely validated on the
+    witness when one is available."""
     position = {n: i for i, n in enumerate(base_order)}
     other_position = {n: i for i, n in enumerate(other_order)}
     prints: Dict[NodeId, Footprint] = {
@@ -279,32 +296,137 @@ def _pick_pair(
                     continue  # ordered by dependencies: cannot race
                 swapped.append(tuple(sorted((a, b), key=str)))
 
-    best: Optional[Tuple[NodeId, NodeId, Optional[Path]]] = None
-    best_score = (-1, -1, -1)
+    candidates: List[Tuple[tuple, NodeId, NodeId, Optional[Path]]] = []
     for a, b in swapped:
         fa = prints.get(a)
         fb = prints.get(b)
         if fa is None or fb is None:
             continue
-        shared = (fa.writes | fa.dir_ensures) & fb.touched() | (
-            fb.writes | fb.dir_ensures
-        ) & fa.touched()
+        effects_a = fa.writes | fa.dir_ensures
+        effects_b = fb.writes | fb.dir_ensures
+        shared = effects_a & fb.touched() | effects_b & fa.touched()
+        # Parent-directory conflicts: one resource creates the
+        # directory the other writes into.  Invisible to the shared-
+        # path intersection (the child path is in neither footprint of
+        # the parent's creator), yet a classic race: run the child
+        # writer first and it errors on the missing parent.
+        parent_conflicts = {
+            p.parent()
+            for p in effects_a
+            if p.parent() in effects_b
+        } | {
+            p.parent()
+            for p in effects_b
+            if p.parent() in effects_a
+        }
         real_writes = fa.writes | fb.writes
-        for p in shared:
+        for p in shared | parent_conflicts:
             # Prefer paths the unsat core names, then genuine writes
-            # over idempotent directory creation, then the most
-            # specific (deepest) path.
+            # over idempotent directory creation, then parent-conflict
+            # evidence, then the most specific (deepest) path.
             score = (
                 1 if p in core_set else 0,
                 1 if p in real_writes else 0,
+                1 if p in parent_conflicts else 0,
                 len(str(p)),
             )
-            if score > best_score:
-                best_score = score
-                best = (a, b, p)
-    if best is not None:
-        return best
+            candidates.append((score, a, b, p))
+    candidates.sort(key=lambda c: c[0], reverse=True)
+
+    if witness is not None and swapped:
+        candidate_pairs = {(a, b) for _, a, b, _ in candidates}
+        # Validate every swapped pair, not only the footprint-scored
+        # candidates: when the true race is invisible to the footprint
+        # heuristics (neither a shared path nor a parent conflict),
+        # the concrete walk can still confirm it.
+        racing = _concretely_racing(
+            graph,
+            programs,
+            witness,
+            set(swapped),
+            VALIDATION_EVAL_LIMIT,
+        )
+        if racing is not None:
+            for _, a, b, p in candidates:
+                if (a, b) in racing:
+                    return a, b, p
+            for a, b in swapped:
+                if (a, b) in racing and (a, b) not in candidate_pairs:
+                    return a, b, (
+                        sorted(core_set, key=str)[0] if core_set else None
+                    )
+        # Budget exhausted (None) or nothing confirmed: trust the
+        # static ranking below rather than return no pair at all.
+    if candidates:
+        _, a, b, p = candidates[0]
+        return a, b, p
     if swapped:
         a, b = swapped[0]
         return a, b, (sorted(core_set, key=str)[0] if core_set else None)
     return None
+
+
+def _concretely_racing(
+    graph: "nx.DiGraph",
+    programs: Dict[NodeId, fx.Expr],
+    witness: FileSystem,
+    pairs: set,
+    eval_limit: int,
+) -> Optional[set]:
+    """Which candidate ``pairs`` concretely race from ``witness``: at
+    some reachable state where both members are schedulable, ``a;b``
+    and ``b;a`` produce different outcomes.
+
+    One walk of the reachable concrete-state DAG (deduplicated on
+    ``(remaining, state)`` by value — exact, no fingerprints) checks
+    every candidate pair at every visited state, with each fringe
+    resource evaluated once per state and reused for both the pair
+    comparisons and the expansion.  Returns the racing subset, or None
+    when ``eval_limit`` runs out first (verdict unknown — the caller
+    falls back to its static ranking).
+    """
+    predecessors = {n: frozenset(graph.predecessors(n)) for n in graph}
+    budget = [eval_limit]
+
+    def evaluate(node: NodeId, state: FileSystem):
+        budget[0] -= 1
+        return eval_expr(programs[node], state)
+
+    racing: set = set()
+    root = frozenset(graph.nodes)
+    seen = {(root, witness)}
+    stack = [(root, witness)]
+    while stack:
+        if budget[0] <= 0:
+            return None
+        remaining, state = stack.pop()
+        fringe = [
+            n for n in remaining if not (predecessors[n] & remaining)
+        ]
+        after = {n: evaluate(n, state) for n in fringe}
+        schedulable = set(fringe)
+        for a, b in pairs - racing:
+            if a not in schedulable or b not in schedulable:
+                continue
+            out_ab = (
+                ERROR
+                if after[a] is ERROR
+                else evaluate(b, after[a])
+            )
+            out_ba = (
+                ERROR
+                if after[b] is ERROR
+                else evaluate(a, after[b])
+            )
+            if out_ab != out_ba:
+                racing.add((a, b))
+        if racing == pairs:
+            return racing  # every candidate settled
+        for n in fringe:
+            if after[n] is ERROR:
+                continue
+            key = (remaining - {n}, after[n])
+            if key not in seen:
+                seen.add(key)
+                stack.append(key)
+    return racing

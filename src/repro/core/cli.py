@@ -18,6 +18,10 @@ Two commands behind one ``rehearsal`` entry point (see setup.py
   debug the solving pipeline offline; ``--dump`` round-trips the
   post-preprocessing solver state back to DIMACS.  Exit codes follow
   the SAT-competition convention: 10 satisfiable, 20 unsatisfiable.
+* ``rehearsal fuzz [--seed N --budget S --shrink --out DIR]`` —
+  differential fuzzing: random catalogs through both the symbolic
+  pipeline and the concrete interleavings oracle
+  (:mod:`repro.testing`); exit 1 on any disagreement.
 
 Exit codes of the verify commands: 0 — verified (for the batch: every
 manifest produced a verdict, and with ``--strict`` every verdict is
@@ -451,6 +455,235 @@ def _dump_solver(path: str, solver) -> None:
         )
 
 
+# -- rehearsal fuzz -----------------------------------------------------------
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal fuzz",
+        description=(
+            "Differential fuzzing: generate random catalogs, verify "
+            "each with the real symbolic pipeline AND a concrete "
+            "all-interleavings oracle, and fail on any disagreement. "
+            "Runs are reproducible: the same --seed and --budget "
+            "produce the same cases and a byte-identical summary."
+        ),
+        epilog=(
+            "Exit codes: 0 — every case agreed; 1 — disagreement(s) "
+            "found; 2 — bad invocation; 3 — the wall clock stopped "
+            "the run before an explicit --cases quota completed."
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed of the case stream (default: 0); the "
+        "nightly job derives one from the date",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="time budget in seconds; buys a deterministic case quota "
+        "(5 cases per second) with the wall clock as a safety stop "
+        "(default: 60, or sized to fit an explicit --cases)",
+    )
+    parser.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        help="run exactly this many cases instead of the "
+        "budget-derived quota",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug every disagreeing case to a minimal "
+        "reproducer before reporting it",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write summary.json plus one reproducer .pp per "
+        "disagreement into DIR (created if missing)",
+    )
+    parser.add_argument(
+        "--max-resources",
+        type=int,
+        default=6,
+        help="largest generated catalog (cap 7: the oracle enumerates "
+        "every topological order; default: 6)",
+    )
+    parser.add_argument(
+        "--edge-density",
+        type=float,
+        default=0.25,
+        help="probability of a dependency edge per resource pair "
+        "(default: 0.25)",
+    )
+    parser.add_argument(
+        "--path-contention",
+        type=float,
+        default=0.35,
+        help="probability a generated file reuses an already-targeted "
+        "path (default: 0.35)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-case progress lines",
+    )
+    return parser
+
+
+def _budget_for_cases(cases: int) -> float:
+    """A wall-clock safety stop comfortably above the quota's nominal
+    pace (5 cases/second), so 'reproduce with --cases N' commands never
+    stop short on a slower machine."""
+    from repro.testing import CASES_PER_SECOND
+
+    return max(60.0, 2.0 * cases / CASES_PER_SECOND)
+
+
+def run_fuzz(argv) -> int:
+    from repro.testing import FuzzSession, GeneratorConfig
+    from repro.testing.regressions import format_reproducer
+
+    args = build_fuzz_parser().parse_args(argv)
+    if args.budget is not None and args.budget <= 0:
+        print("error: --budget must be positive", file=sys.stderr)
+        return 2
+    if args.cases is not None and args.cases < 1:
+        print("error: --cases must be >= 1", file=sys.stderr)
+        return 2
+    budget = args.budget
+    if budget is None:
+        # An explicit --cases must never be truncated by the default
+        # wall clock: size the safety stop to the requested quota.
+        budget = (
+            _budget_for_cases(args.cases)
+            if args.cases is not None
+            else 60.0
+        )
+    try:
+        config = GeneratorConfig(
+            max_resources=args.max_resources,
+            edge_density=args.edge_density,
+            path_contention=args.path_contention,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = None
+    if args.out is not None:
+        out_dir = OsPath(args.out)
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            print(
+                f"error: cannot create --out {args.out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+
+    knob_flags = ""
+    if args.max_resources != 6:
+        knob_flags += f" --max-resources {args.max_resources}"
+    if args.edge_density != 0.25:
+        knob_flags += f" --edge-density {args.edge_density:g}"
+    if args.path_contention != 0.35:
+        knob_flags += f" --path-contention {args.path_contention:g}"
+
+    progress = (
+        (lambda message: None)
+        if args.quiet
+        else (lambda message: print(f"  {message}"))
+    )
+    session = FuzzSession(
+        seed=args.seed,
+        budget_seconds=budget,
+        cases=args.cases,
+        shrink=args.shrink,
+        generator_config=config,
+        progress=progress,
+    )
+    print(
+        f"fuzzing with seed {args.seed}: "
+        f"{session.quota} cases (budget {budget:g}s)"
+    )
+    summary = session.run()
+
+    counts = ", ".join(
+        f"{count} {verdict}"
+        for verdict, count in sorted(summary.verdict_counts.items())
+    )
+    print(
+        f"ran {summary.cases_run}/{summary.case_quota} cases in "
+        f"{summary.elapsed_seconds:.1f}s: {counts or 'nothing'}"
+    )
+    truncated_failure = False
+    if summary.truncated:
+        if args.cases is not None:
+            # An explicit --cases pins the coverage; delivering less
+            # must not read as success (the CI smoke relies on this).
+            print(
+                f"error: wall clock stopped the run at "
+                f"{summary.cases_run}/{args.cases} requested cases",
+                file=sys.stderr,
+            )
+            truncated_failure = True
+        else:
+            print("warning: wall-clock budget exhausted before the quota")
+
+    if out_dir is not None:
+        (out_dir / "summary.json").write_text(
+            summary.to_json(), encoding="utf8"
+        )
+        for finding in summary.findings:
+            repro = finding.reproducer
+            outcome = finding.reproducer_outcome
+            text = format_reproducer(
+                repro.source,
+                seed=repro.master_seed,
+                case_id=repro.case_id,
+                disagreement=",".join(finding.outcome.kinds()),
+                expected_deterministic=outcome.oracle_deterministic,
+                expected_idempotent=outcome.oracle_idempotent,
+                bug_class=repro.bug,
+                found_by=f"fuzz-seed-{repro.master_seed}",
+            )
+            (out_dir / f"repro-{repro.case_id}.pp").write_text(
+                text, encoding="utf8"
+            )
+        print(f"wrote summary.json to {out_dir}")
+
+    if summary.findings:
+        print(
+            f"\n{summary.disagreement_count} DISAGREEMENT(S) between "
+            "the pipeline and the concrete oracle:",
+            file=sys.stderr,
+        )
+        for finding in summary.findings:
+            kinds = ",".join(finding.outcome.kinds())
+            # Cases are a pure function of (seed, case_id, generator
+            # config), so the hint must echo non-default knobs;
+            # --cases sizes its own wall clock, no --budget needed.
+            print(
+                f"  - case {finding.case.case_id} "
+                f"({finding.case.bug}): {kinds}; reproduce with "
+                f"--seed {finding.case.master_seed} "
+                f"--cases {finding.case.case_id + 1}{knob_flags}",
+                file=sys.stderr,
+            )
+        return 1
+    if truncated_failure:
+        return 3
+    print("no disagreements.")
+    return 0
+
+
 # -- dispatch -----------------------------------------------------------------
 
 
@@ -462,6 +695,8 @@ def main(argv=None) -> int:
         return run_cache_clear(argv[1:])
     if argv and argv[0] == "solve":
         return run_solve(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return run_fuzz(argv[1:])
     if argv and argv[0] == "verify":
         argv = argv[1:]
     return run_verify(argv)

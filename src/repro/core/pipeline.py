@@ -172,12 +172,25 @@ class Rehearsal:
 
     # -- the full verification --------------------------------------------------
 
-    def verify(self, source: str, name: str = "<manifest>") -> VerificationReport:
-        """Determinism first, then idempotence (gated, per §5)."""
+    def verify(
+        self,
+        source: str,
+        name: str = "<manifest>",
+        compiled: Optional[Tuple["nx.DiGraph", Dict[str, Expr]]] = None,
+    ) -> VerificationReport:
+        """Determinism first, then idempotence (gated, per §5).
+
+        ``compiled`` — an already-computed :meth:`compile` result for
+        ``source``; callers that need the graph and programs themselves
+        (the differential fuzzer runs its oracle on them) pass it in so
+        the frontend runs once per manifest.
+        """
         report = VerificationReport(manifest_name=name)
         start = time.perf_counter()
         try:
-            graph, programs = self.compile(source)
+            graph, programs = (
+                compiled if compiled is not None else self.compile(source)
+            )
         except ReproError as exc:
             report.error = str(exc)
             report.total_seconds = time.perf_counter() - start

@@ -1,0 +1,63 @@
+"""Differential fuzzing: generator, concrete oracle, driver, shrinker.
+
+The subsystem behind ``rehearsal fuzz`` (and the nightly CI fuzz job):
+
+* :mod:`repro.testing.generate` — seeded random resource catalogs;
+* :mod:`repro.testing.oracle` — concrete all-interleavings reference
+  executor, the ground truth the symbolic pipeline is diffed against;
+* :mod:`repro.testing.differential` — the driver that runs both and
+  classifies disagreements;
+* :mod:`repro.testing.shrink` — delta-debugging minimizer;
+* :mod:`repro.testing.regressions` — the committed-reproducer format
+  shared by ``tests/regressions/`` and ``tools/check_regressions.py``.
+"""
+
+from repro.testing.differential import (
+    CASES_PER_SECOND,
+    CaseOutcome,
+    Disagreement,
+    Finding,
+    FuzzSession,
+    FuzzSummary,
+    run_source,
+)
+from repro.testing.generate import (
+    BUG_CLASSES,
+    GENERATOR_VERSION,
+    CaseGenerator,
+    GeneratedCase,
+    GeneratorConfig,
+    ResourceSpec,
+)
+from repro.testing.oracle import (
+    MAX_ORACLE_RESOURCES,
+    OracleReport,
+    RacingPair,
+    initial_state_family,
+    racing_pairs,
+    run_oracle,
+)
+from repro.testing.shrink import shrink_case
+
+__all__ = [
+    "BUG_CLASSES",
+    "CASES_PER_SECOND",
+    "CaseGenerator",
+    "CaseOutcome",
+    "Disagreement",
+    "Finding",
+    "FuzzSession",
+    "FuzzSummary",
+    "GENERATOR_VERSION",
+    "GeneratedCase",
+    "GeneratorConfig",
+    "MAX_ORACLE_RESOURCES",
+    "OracleReport",
+    "RacingPair",
+    "ResourceSpec",
+    "initial_state_family",
+    "racing_pairs",
+    "run_oracle",
+    "run_source",
+    "shrink_case",
+]

@@ -1,0 +1,581 @@
+"""Seeded random-catalog generator for differential fuzzing.
+
+Produces :class:`GeneratedCase` values — small random resource catalogs
+over the full modeled vocabulary (``file``, ``package``, ``service``,
+``user``, ``group``, ``cron``, ``ssh_authorized_key``, ``host``) — that
+the differential driver (:mod:`repro.testing.differential`) runs
+through both the real symbolic pipeline and the concrete interleaving
+oracle (:mod:`repro.testing.oracle`).
+
+Reproducibility is the design center: every case is a pure function of
+``(master seed, case index, GeneratorConfig)``.  A nightly failure
+ships as a seed + case id, and re-running the generator locally
+re-creates the byte-identical manifest (the generated AST is printed
+through :mod:`repro.puppet.printer`, the same unparser the shrinker
+uses for reproducers).
+
+Knobs (:class:`GeneratorConfig`):
+
+* ``edge_density`` — probability of a dependency edge per eligible
+  resource pair (drawn only forward, so catalogs are DAGs by
+  construction);
+* ``path_contention`` — probability that a generated file resource
+  reuses an already-targeted path instead of a fresh one, the knob
+  that manufactures racy shared-path writes;
+* ``bug_weights`` — relative frequency of the injectable bug classes,
+  which mirror the §6 corpus seeds (see :data:`BUG_CLASSES`).
+
+Injected bug classes are *hints*, not ground truth: a "clean" case can
+still race through path contention, and the oracle alone decides the
+expected verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.puppet import ast_nodes as ast
+from repro.puppet.printer import print_manifest
+from repro.resources.package_db import default_database
+
+#: Bump whenever generated output changes for a fixed seed — recorded
+#: in every regression header so a stale reproducer is detectable.
+GENERATOR_VERSION = 1
+
+#: The injectable bug classes, mirroring the corpus seeds:
+#:
+#: ``clean``            no injected bug (catalog may still race through
+#:                      the contention knob);
+#: ``shared-write``     two unordered ``file`` resources write different
+#:                      content to one path (Fig. 3a shape);
+#: ``absent-vs-present`` one resource creates a file another removes,
+#:                      unordered (the rsyslog-nondet shape);
+#: ``missing-pkg-dep``  a config file overwrites a package-owned path
+#:                      with no ``require`` on the package (the
+#:                      ntp/dns-nondet shape);
+#: ``ssh-before-user``  an ``ssh_authorized_key`` with no dependency on
+#:                      the ``user`` that creates the home directory
+#:                      (the §6 ssh-keys bug: order-dependent error).
+BUG_CLASSES = (
+    "clean",
+    "shared-write",
+    "absent-vs-present",
+    "missing-pkg-dep",
+    "ssh-before-user",
+)
+
+_DEFAULT_BUG_WEIGHTS = {
+    "clean": 4,
+    "shared-write": 2,
+    "absent-vs-present": 1,
+    "missing-pkg-dep": 2,
+    "ssh-before-user": 1,
+}
+
+#: Small curated packages keep the symbolic path domain (and the
+#: oracle's state family) small; ``fuzzpkg`` exercises the synthetic
+#: listing generator.
+_PACKAGE_POOL = ("m4", "make", "fuzzpkg")
+_USER_POOL = ("alice", "bob", "carol")
+_GROUP_POOL = ("admins", "ops")
+_SERVICE_POOL = ("appd", "webd", "jobd")
+_HOST_POOL = ("node1", "node2")
+_CRON_POOL = ("rotate", "sync")
+_CONTENT_POOL = ("alpha\n", "beta\n", "gamma\n")
+_SHARED_DIRS = ("/etc/fuzz", "/srv/fuzz")
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One generated resource: type, title, scalar attributes, and the
+    indices (into the case's resource list) it ``require``s."""
+
+    rtype: str
+    title: str
+    attributes: Tuple[Tuple[str, object], ...] = ()
+    requires: Tuple[int, ...] = ()
+
+    @property
+    def ref(self) -> str:
+        return f"{_ref_type(self.rtype)}[{self.title!r}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "rtype": self.rtype,
+            "title": self.title,
+            "attributes": [list(kv) for kv in self.attributes],
+            "requires": list(self.requires),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceSpec":
+        return cls(
+            rtype=data["rtype"],
+            title=data["title"],
+            attributes=tuple(
+                (str(k), v) for k, v in data.get("attributes", [])
+            ),
+            requires=tuple(int(i) for i in data.get("requires", [])),
+        )
+
+
+@dataclass
+class GeneratedCase:
+    """A generated catalog plus the provenance needed to re-create it."""
+
+    master_seed: int
+    case_id: int
+    case_seed: int
+    bug: str
+    resources: List[ResourceSpec] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"fuzz-{self.master_seed}-{self.case_id}"
+
+    def to_manifest(self) -> ast.Manifest:
+        """Build the Puppet AST (unparsed via
+        :func:`repro.puppet.printer.print_manifest`)."""
+        statements = []
+        for spec in self.resources:
+            attrs = [
+                ast.AttributeDef(name=k, value=_value_expr(v))
+                for k, v in spec.attributes
+            ]
+            for req in spec.requires:
+                target = self.resources[req]
+                attrs.append(
+                    ast.AttributeDef(
+                        name="require",
+                        value=ast.ResourceRefExpr(
+                            rtype=_ref_type(target.rtype),
+                            titles=(ast.Literal(target.title),),
+                        ),
+                    )
+                )
+            statements.append(
+                ast.ResourceDecl(
+                    rtype=spec.rtype,
+                    bodies=(
+                        ast.ResourceBody(
+                            title=ast.Literal(spec.title),
+                            attributes=tuple(attrs),
+                        ),
+                    ),
+                )
+            )
+        return ast.Manifest(statements=tuple(statements))
+
+    @property
+    def source(self) -> str:
+        return print_manifest(self.to_manifest()) + "\n"
+
+    def to_dict(self) -> dict:
+        return {
+            "master_seed": self.master_seed,
+            "case_id": self.case_id,
+            "case_seed": self.case_seed,
+            "bug": self.bug,
+            "resources": [spec.to_dict() for spec in self.resources],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneratedCase":
+        return cls(
+            master_seed=int(data["master_seed"]),
+            case_id=int(data["case_id"]),
+            case_seed=int(data["case_seed"]),
+            bug=str(data["bug"]),
+            resources=[
+                ResourceSpec.from_dict(d) for d in data["resources"]
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs; the defaults balance racy and clean catalogs."""
+
+    min_resources: int = 2
+    #: Hard cap 7: the oracle enumerates every topological order.
+    max_resources: int = 6
+    edge_density: float = 0.25
+    path_contention: float = 0.35
+    bug_weights: Tuple[Tuple[str, int], ...] = tuple(
+        sorted(_DEFAULT_BUG_WEIGHTS.items())
+    )
+
+    def __post_init__(self):
+        if not 1 <= self.min_resources <= self.max_resources <= 7:
+            raise ValueError(
+                "need 1 <= min_resources <= max_resources <= 7 "
+                "(the oracle enumerates all topological orders)"
+            )
+        unknown = {name for name, _ in self.bug_weights} - set(BUG_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown bug classes: {sorted(unknown)}")
+
+
+def case_seed(master_seed: int, case_id: int) -> int:
+    """The per-case seed: a stable mix of master seed and case index
+    (``random.Random`` would correlate adjacent integer seeds)."""
+    return (master_seed * 1_000_003 + case_id * 7_919 + 17) % (2**32)
+
+
+class CaseGenerator:
+    """Deterministic stream of :class:`GeneratedCase` values."""
+
+    def __init__(
+        self, master_seed: int, config: Optional[GeneratorConfig] = None
+    ):
+        self.master_seed = master_seed
+        self.config = config or GeneratorConfig()
+        self._db = default_database()
+
+    def generate(self, case_id: int) -> GeneratedCase:
+        """The ``case_id``-th case of this seed's stream — pure, so any
+        case is addressable without generating its predecessors."""
+        seed = case_seed(self.master_seed, case_id)
+        rng = random.Random(seed)
+        bug = self._pick_bug(rng)
+        case = GeneratedCase(
+            master_seed=self.master_seed,
+            case_id=case_id,
+            case_seed=seed,
+            bug=bug,
+        )
+        budget = rng.randint(
+            self.config.min_resources, self.config.max_resources
+        )
+        builder = _CaseBuilder(rng, self.config, self._db)
+        builder.build(budget, bug)
+        case.resources = builder.resources
+        return case
+
+    def cases(self, count: int, start: int = 0):
+        for case_id in range(start, start + count):
+            yield self.generate(case_id)
+
+    def _pick_bug(self, rng: random.Random) -> str:
+        names = [name for name, _ in self.config.bug_weights]
+        weights = [weight for _, weight in self.config.bug_weights]
+        return rng.choices(names, weights=weights, k=1)[0]
+
+
+class _CaseBuilder:
+    """Accumulates ResourceSpecs for one case."""
+
+    def __init__(self, rng, config, db):
+        self.rng = rng
+        self.config = config
+        self.db = db
+        self.resources: List[ResourceSpec] = []
+        self._used_paths: List[str] = []
+        self._used_titles: set = set()
+        #: Pairs of resource indices that must stay unordered (the
+        #: injected racing pair); random edges respect this.
+        self._keep_unordered: List[Tuple[int, int]] = []
+
+    # -- top level ---------------------------------------------------------
+
+    def build(self, budget: int, bug: str) -> None:
+        bug_spent = self._inject_bug(bug)
+        for _ in range(max(0, budget - bug_spent)):
+            self._add_random_resource()
+        self._add_random_edges()
+
+    # -- bug injection -----------------------------------------------------
+
+    def _inject_bug(self, bug: str) -> int:
+        """Append the bug's resource pair; returns how many resources
+        it spent from the budget."""
+        if bug == "shared-write":
+            path = self._fresh_path()
+            a = self._add_file(
+                path, ensure="file", content=_CONTENT_POOL[0]
+            )
+            b = self._add_file(
+                path, ensure="file", content=_CONTENT_POOL[1]
+            )
+            self._keep_unordered.append((a, b))
+            return 2
+        if bug == "absent-vs-present":
+            path = self._fresh_path()
+            a = self._add_file(
+                path, ensure="file", content=_CONTENT_POOL[0]
+            )
+            b = self._add_file(path, ensure="absent")
+            self._keep_unordered.append((a, b))
+            return 2
+        if bug == "missing-pkg-dep":
+            pkg = self.rng.choice(_PACKAGE_POOL)
+            owned = sorted(str(p) for p in self.db.lookup(pkg).file_paths())
+            path = self.rng.choice(owned)
+            a = self._add("package", pkg, ensure="installed")
+            b = self._add_file(
+                path,
+                ensure="file",
+                content=self.rng.choice(_CONTENT_POOL),
+            )
+            self._keep_unordered.append((a, b))
+            return 2
+        if bug == "ssh-before-user":
+            user = self.rng.choice(_USER_POOL)
+            a = self._add(
+                "user", user, ensure="present", managehome=True
+            )
+            b = self._add(
+                "ssh_authorized_key",
+                f"{user}-key",
+                user=user,
+                key=f"AAAA{user}",
+            )
+            self._keep_unordered.append((a, b))
+            return 2
+        return 0  # clean
+
+    # -- random resources --------------------------------------------------
+
+    def _add_random_resource(self) -> None:
+        kind = self.rng.choice(
+            (
+                "file",
+                "file",  # files twice: they drive contention
+                "package",
+                "service",
+                "user",
+                "group",
+                "cron",
+                "ssh_authorized_key",
+                "host",
+            )
+        )
+        getattr(self, f"_random_{kind}")()
+
+    def _random_file(self) -> None:
+        contend = (
+            self._used_paths
+            and self.rng.random() < self.config.path_contention
+        )
+        path = (
+            self.rng.choice(self._used_paths)
+            if contend
+            else self._fresh_path()
+        )
+        roll = self.rng.random()
+        if roll < 0.15:
+            self._add_file(path, ensure="absent")
+        elif roll < 0.3:
+            directory = self._fresh_dir()
+            if ("file", directory) not in self._used_titles:
+                self._add("file", directory, ensure="directory")
+            else:
+                self._add_file(
+                    path,
+                    ensure="file",
+                    content=self.rng.choice(_CONTENT_POOL),
+                )
+        else:
+            self._add_file(
+                path,
+                ensure="file",
+                content=self.rng.choice(_CONTENT_POOL),
+            )
+
+    def _random_package(self) -> None:
+        name = self.rng.choice(_PACKAGE_POOL)
+        ensure = "installed" if self.rng.random() < 0.85 else "absent"
+        self._add("package", name, ensure=ensure)
+
+    def _random_service(self) -> None:
+        name = self.rng.choice(_SERVICE_POOL)
+        attrs = {"ensure": self.rng.choice(("running", "stopped"))}
+        if self.rng.random() < 0.5:
+            attrs["enable"] = self.rng.random() < 0.8
+        self._add("service", name, **attrs)
+
+    def _random_user(self) -> None:
+        name = self.rng.choice(_USER_POOL)
+        self._add(
+            "user",
+            name,
+            ensure="present" if self.rng.random() < 0.85 else "absent",
+            managehome=self.rng.random() < 0.5,
+        )
+
+    def _random_group(self) -> None:
+        self._add(
+            "group",
+            self.rng.choice(_GROUP_POOL),
+            ensure="present" if self.rng.random() < 0.85 else "absent",
+        )
+
+    def _random_cron(self) -> None:
+        job = self.rng.choice(_CRON_POOL)
+        self._add(
+            "cron",
+            job,
+            command=f"/usr/bin/{job}",
+            minute=str(self.rng.randint(0, 59)),
+            user=self.rng.choice(_USER_POOL),
+        )
+
+    def _random_ssh_authorized_key(self) -> None:
+        user = self.rng.choice(_USER_POOL)
+        self._add(
+            "ssh_authorized_key",
+            f"{user}-key",
+            user=user,
+            key=f"AAAA{user}",
+        )
+
+    def _random_host(self) -> None:
+        name = self.rng.choice(_HOST_POOL)
+        self._add(
+            "host", name, ip=f"192.168.0.{self.rng.randint(1, 20)}"
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _add_file(self, path: str, **attributes) -> int:
+        """Append a file resource targeting ``path``.  Contending
+        writers need unique titles (Puppet rejects duplicate
+        declarations), so later writers get a synthetic title plus an
+        explicit ``path`` attribute."""
+        if ("file", path) in self._used_titles:
+            suffix = 2
+            while ("file", f"{path}#{suffix}") in self._used_titles:
+                suffix += 1
+            attributes["path"] = path
+            return self._add("file", f"{path}#{suffix}", **attributes)
+        return self._add("file", path, **attributes)
+
+    def _add(self, rtype: str, title: str, **attributes) -> int:
+        """Append a spec, uniquifying duplicate (type, title) pairs —
+        Puppet rejects duplicate resource declarations."""
+        key = (rtype, title)
+        if key in self._used_titles:
+            suffix = 2
+            while (rtype, f"{title}-{suffix}") in self._used_titles:
+                suffix += 1
+            title = f"{title}-{suffix}"
+            key = (rtype, title)
+        self._used_titles.add(key)
+        if rtype == "file" and attributes.get("ensure") != "directory":
+            self._used_paths.append(attributes.get("path", title))
+        attrs = tuple(sorted(attributes.items()))
+        self.resources.append(
+            ResourceSpec(rtype=rtype, title=title, attributes=attrs)
+        )
+        return len(self.resources) - 1
+
+    def _fresh_path(self) -> str:
+        base = self.rng.choice(_SHARED_DIRS)
+        for _ in range(64):
+            path = f"{base}/f{self.rng.randint(0, 9)}.conf"
+            if path not in self._used_paths:
+                return path
+        return f"{base}/f{len(self._used_paths)}x.conf"
+
+    def _fresh_dir(self) -> str:
+        return self.rng.choice(_SHARED_DIRS)
+
+    def _add_random_edges(self) -> None:
+        """Forward dependency edges (j requires i for i < j) at
+        ``edge_density``.  The working edge set starts from the
+        catalog's *implied* file auto-require edges (a file depends on
+        the resource managing its parent directory), so a random edge
+        can neither close a cycle through them — not even transitively
+        via intermediate resources — nor order an injected racing
+        pair."""
+        n = len(self.resources)
+        edges = self._auto_require_edges()
+        requires: Dict[int, List[int]] = {j: [] for j in range(n)}
+        for j in range(1, n):
+            for i in range(j):
+                if self.rng.random() >= self.config.edge_density:
+                    continue
+                if self._reaches(edges, j, i):
+                    continue  # i -> j would close a cycle
+                candidate = edges + [(i, j)]
+                if self._keep_unordered and self._orders_kept_pair(
+                    candidate
+                ):
+                    continue
+                requires[j].append(i)
+                edges = candidate
+        for j, deps in requires.items():
+            if deps:
+                self.resources[j] = replace(
+                    self.resources[j], requires=tuple(deps)
+                )
+
+    def _auto_require_edges(self) -> List[Tuple[int, int]]:
+        """The dir -> child edges the catalog will infer: for every
+        file resource whose path's direct parent is managed by a file
+        resource, an edge parent-manager -> child.  (For contending
+        writers of one path the catalog connects only one of them;
+        including all of them here merely over-restricts the random
+        edges, never under.)"""
+
+        def managed_path(spec: ResourceSpec) -> Optional[str]:
+            if spec.rtype != "file":
+                return None
+            return str(dict(spec.attributes).get("path", spec.title))
+
+        by_path: Dict[str, List[int]] = {}
+        for index, spec in enumerate(self.resources):
+            path = managed_path(spec)
+            if path is not None:
+                by_path.setdefault(path, []).append(index)
+        edges: List[Tuple[int, int]] = []
+        for path, children in by_path.items():
+            parent = path.rsplit("/", 1)[0]
+            for parent_index in by_path.get(parent, ()):
+                for child_index in children:
+                    if parent_index != child_index:
+                        edges.append((parent_index, child_index))
+        return edges
+
+    @staticmethod
+    def _reaches(
+        edges: List[Tuple[int, int]], src: int, dst: int
+    ) -> bool:
+        adjacency: Dict[int, List[int]] = {}
+        for a, b in edges:
+            adjacency.setdefault(a, []).append(b)
+        stack = [src]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return False
+
+    def _orders_kept_pair(self, edges: List[Tuple[int, int]]) -> bool:
+        """Would this edge set (random + implied) create a path
+        between a kept-unordered (injected racing) pair?"""
+        return any(
+            self._reaches(edges, a, b) or self._reaches(edges, b, a)
+            for a, b in self._keep_unordered
+        )
+
+
+def _ref_type(rtype: str) -> str:
+    """``ssh_authorized_key`` → ``Ssh_authorized_key`` (Puppet
+    reference casing: first letter only)."""
+    return rtype[:1].upper() + rtype[1:]
+
+
+def _value_expr(value: object) -> ast.Expr:
+    if isinstance(value, bool) or value is None:
+        return ast.Literal(value=value)
+    if isinstance(value, (int, float)):
+        return ast.Literal(value=value)
+    return ast.Literal(value=str(value))

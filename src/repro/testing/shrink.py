@@ -1,0 +1,195 @@
+"""Delta-debugging shrinker for disagreeing fuzz cases.
+
+Given a :class:`~repro.testing.generate.GeneratedCase` and a predicate
+("does this candidate still exhibit the disagreement?"), produce the
+smallest reproducer the reduction passes can reach:
+
+1. **resource removal** — repeatedly try dropping each resource (with
+   dependency indices re-wired) until no single removal reproduces;
+2. **edge removal** — drop ``require`` edges one at a time (a minimal
+   race usually needs *no* edges at all);
+3. **attribute simplification** — drop optional attributes and shrink
+   file contents to one character.
+
+Passes iterate to a joint fixpoint, so a removal that only becomes
+possible after an edge is gone is still found.  The total number of
+predicate evaluations is capped: shrinking is a convenience, not a
+liveness hazard.  The shrunk case serializes through
+:mod:`repro.puppet.printer` like every generated case, which is what
+the committed reproducers under ``tests/regressions/`` are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.testing.generate import GeneratedCase, ResourceSpec
+
+Predicate = Callable[[GeneratedCase], bool]
+
+#: Attributes a resource stays well-formed without.
+_OPTIONAL_ATTRIBUTES = frozenset(
+    {"managehome", "enable", "minute", "hour", "monthday", "month",
+     "weekday"}
+)
+
+
+class _Shrinker:
+    def __init__(self, predicate: Predicate, max_attempts: int):
+        self.predicate = predicate
+        self.max_attempts = max_attempts
+        self.attempts = 0
+
+    def holds(self, case: GeneratedCase) -> bool:
+        if self.attempts >= self.max_attempts:
+            return False
+        self.attempts += 1
+        try:
+            return self.predicate(case)
+        except Exception:
+            # A candidate that crashes the toolchain is not a smaller
+            # reproducer of *this* finding.
+            return False
+
+    def out_of_budget(self) -> bool:
+        return self.attempts >= self.max_attempts
+
+
+def shrink_case(
+    case: GeneratedCase,
+    predicate: Predicate,
+    max_attempts: int = 300,
+) -> Tuple[GeneratedCase, int]:
+    """Minimize ``case`` while ``predicate`` holds; returns the
+    smallest reproducer found and the number of predicate runs.
+
+    The original case is assumed to satisfy the predicate (it is never
+    re-checked); the original is returned unchanged when no reduction
+    reproduces.
+    """
+    shrinker = _Shrinker(predicate, max_attempts)
+    current = case
+    changed = True
+    while changed and not shrinker.out_of_budget():
+        changed = False
+        reduced = _drop_resources(current, shrinker)
+        if reduced is not None:
+            current, changed = reduced, True
+        reduced = _drop_edges(current, shrinker)
+        if reduced is not None:
+            current, changed = reduced, True
+        reduced = _simplify_attributes(current, shrinker)
+        if reduced is not None:
+            current, changed = reduced, True
+    return current, shrinker.attempts
+
+
+def _drop_resources(
+    case: GeneratedCase, shrinker: _Shrinker
+) -> Optional[GeneratedCase]:
+    """Greedy one-at-a-time removal to a fixpoint (catalogs are ≤ 7
+    resources, so ddmin's subset phases would buy nothing)."""
+    current = case
+    improved = False
+    index = 0
+    while index < len(current.resources):
+        if shrinker.out_of_budget():
+            break
+        candidate = _without_resource(current, index)
+        if candidate is not None and shrinker.holds(candidate):
+            current = candidate
+            improved = True  # same index now names the next resource
+        else:
+            index += 1
+    return current if improved else None
+
+
+def _without_resource(
+    case: GeneratedCase, index: int
+) -> Optional[GeneratedCase]:
+    if len(case.resources) <= 1:
+        return None
+    specs: List[ResourceSpec] = []
+    for i, spec in enumerate(case.resources):
+        if i == index:
+            continue
+        requires = tuple(
+            r - (1 if r > index else 0)
+            for r in spec.requires
+            if r != index
+        )
+        specs.append(replace(spec, requires=requires))
+    return replace(case, resources=specs)
+
+
+def _drop_edges(
+    case: GeneratedCase, shrinker: _Shrinker
+) -> Optional[GeneratedCase]:
+    current = case
+    improved = False
+    i = 0
+    while i < len(current.resources):
+        spec = current.resources[i]
+        dropped_one = False
+        for req in spec.requires:
+            if shrinker.out_of_budget():
+                return current if improved else None
+            slimmer = replace(
+                spec,
+                requires=tuple(r for r in spec.requires if r != req),
+            )
+            specs = list(current.resources)
+            specs[i] = slimmer
+            candidate = replace(current, resources=specs)
+            if shrinker.holds(candidate):
+                current = candidate
+                improved = True
+                dropped_one = True
+                break  # re-scan this resource's remaining edges
+        if not dropped_one:
+            i += 1
+    return current if improved else None
+
+
+def _simplify_attributes(
+    case: GeneratedCase, shrinker: _Shrinker
+) -> Optional[GeneratedCase]:
+    current = case
+    improved = False
+    for i in range(len(current.resources)):
+        spec = current.resources[i]
+        for name, value in spec.attributes:
+            if shrinker.out_of_budget():
+                return current if improved else None
+            if name in _OPTIONAL_ATTRIBUTES:
+                slimmer = replace(
+                    spec,
+                    attributes=tuple(
+                        (k, v)
+                        for k, v in spec.attributes
+                        if k != name
+                    ),
+                )
+            elif (
+                name == "content"
+                and isinstance(value, str)
+                and len(value) > 1
+            ):
+                slimmer = replace(
+                    spec,
+                    attributes=tuple(
+                        (k, value[0] if k == name else v)
+                        for k, v in spec.attributes
+                    ),
+                )
+            else:
+                continue
+            specs = list(current.resources)
+            specs[i] = slimmer
+            candidate = replace(current, resources=specs)
+            if shrinker.holds(candidate):
+                current = candidate
+                spec = slimmer
+                improved = True
+    return current if improved else None

@@ -1,0 +1,20 @@
+# rehearsal-fuzz reproducer
+# seed: 42
+# case-id: 23
+# generator-version: 1
+# bug-class: absent-vs-present
+# found-by: sabotage-drill
+# disagreement: missed_nondet
+# expected-deterministic: false
+# expected-idempotent: none
+
+file {
+  '/etc/fuzz/f3.conf':
+    content => 'a',
+    ensure => 'file',
+}
+file {
+  '/etc/fuzz/f3.conf#2':
+    ensure => 'absent',
+    path => '/etc/fuzz/f3.conf',
+}

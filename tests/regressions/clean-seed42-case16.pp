@@ -1,0 +1,19 @@
+# rehearsal-fuzz reproducer
+# seed: 42
+# case-id: 16
+# generator-version: 1
+# bug-class: clean
+# found-by: sabotage-drill
+# disagreement: missed_nondet
+# expected-deterministic: false
+# expected-idempotent: none
+
+user {
+  'carol':
+    ensure => 'present',
+}
+ssh_authorized_key {
+  'carol-key':
+    key => 'AAAAcarol',
+    user => 'carol',
+}

@@ -1,0 +1,19 @@
+# rehearsal-fuzz reproducer
+# seed: 42
+# case-id: 2
+# generator-version: 1
+# bug-class: missing-pkg-dep
+# found-by: sabotage-drill
+# disagreement: missed_nondet
+# expected-deterministic: false
+# expected-idempotent: none
+
+ssh_authorized_key {
+  'bob-key':
+    key => 'AAAAbob',
+    user => 'bob',
+}
+host {
+  'node1':
+    ip => '192.168.0.5',
+}

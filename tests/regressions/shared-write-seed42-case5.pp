@@ -1,0 +1,21 @@
+# rehearsal-fuzz reproducer
+# seed: 42
+# case-id: 5
+# generator-version: 1
+# bug-class: shared-write
+# found-by: sabotage-drill
+# disagreement: missed_nondet
+# expected-deterministic: false
+# expected-idempotent: none
+
+file {
+  '/srv/fuzz/f3.conf':
+    content => 'a',
+    ensure => 'file',
+}
+file {
+  '/srv/fuzz/f3.conf#2':
+    content => 'b',
+    ensure => 'file',
+    path => '/srv/fuzz/f3.conf',
+}

@@ -1,0 +1,19 @@
+# rehearsal-fuzz reproducer
+# seed: 42
+# case-id: 41
+# generator-version: 1
+# bug-class: ssh-before-user
+# found-by: sabotage-drill
+# disagreement: missed_nondet
+# expected-deterministic: false
+# expected-idempotent: none
+
+user {
+  'bob':
+    ensure => 'present',
+}
+ssh_authorized_key {
+  'bob-key':
+    key => 'AAAAbob',
+    user => 'bob',
+}

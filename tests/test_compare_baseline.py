@@ -1,0 +1,153 @@
+"""benchmarks/compare_baseline.py: figure-set drift must fail by name.
+
+The bench-regression CI job diffs a fresh ``run_figures.py --smoke
+--json`` report against the committed baseline; these tests pin the
+comparison's behaviour when the figure sets drift apart (dropped,
+renamed, added, malformed) instead of merely getting slower.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "compare_baseline.py"
+
+
+def report(figures: dict) -> dict:
+    return {"schema": 1, "figures": figures}
+
+
+def fig(seconds):
+    return {"title": "t", "seconds": seconds, "rows": []}
+
+
+def run_compare(tmp_path, baseline, current, *extra):
+    base_path = tmp_path / "baseline.json"
+    cur_path = tmp_path / "current.json"
+    base_path.write_text(json.dumps(report(baseline)))
+    cur_path.write_text(json.dumps(report(current)))
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), str(base_path), str(cur_path),
+         "--calibrate", "", *extra],
+        capture_output=True,
+        text=True,
+    )
+    return proc
+
+
+class TestFigureSetDrift:
+    def test_matching_sets_pass(self, tmp_path):
+        figures = {"a": fig(1.0), "b": fig(2.0)}
+        proc = run_compare(tmp_path, figures, figures)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_baseline_figure_missing_from_current_fails_by_name(
+        self, tmp_path
+    ):
+        proc = run_compare(
+            tmp_path, {"a": fig(1.0), "gone": fig(1.0)}, {"a": fig(1.0)}
+        )
+        assert proc.returncode == 1
+        assert "'gone'" in proc.stderr
+        assert "missing from current" in proc.stderr
+
+    def test_renamed_figure_fails_on_both_names(self, tmp_path):
+        proc = run_compare(
+            tmp_path,
+            {"old-name": fig(1.0)},
+            {"new-name": fig(1.0)},
+        )
+        assert proc.returncode == 1
+        assert "'old-name'" in proc.stderr
+        assert "'new-name'" in proc.stderr
+
+    def test_allow_new_tolerates_added_figures_only(self, tmp_path):
+        proc = run_compare(
+            tmp_path,
+            {"a": fig(1.0)},
+            {"a": fig(1.0), "added": fig(1.0)},
+            "--allow-new",
+        )
+        assert proc.returncode == 0, proc.stderr
+        # ... but a *dropped* figure still fails even with --allow-new.
+        proc = run_compare(
+            tmp_path,
+            {"a": fig(1.0), "gone": fig(1.0)},
+            {"a": fig(1.0)},
+            "--allow-new",
+        )
+        assert proc.returncode == 1
+
+
+class TestMalformedEntries:
+    def test_non_numeric_seconds_fails_by_name_not_crash(self, tmp_path):
+        proc = run_compare(
+            tmp_path,
+            {"a": fig(1.0)},
+            {"a": fig("fast")},
+        )
+        assert proc.returncode == 1, proc.stderr
+        assert "'a'" in proc.stderr
+        assert "not a number" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_seconds_field_fails_by_name(self, tmp_path):
+        proc = run_compare(
+            tmp_path,
+            {"a": {"title": "t", "rows": []}},
+            {"a": fig(1.0)},
+        )
+        assert proc.returncode == 1
+        assert "'a'" in proc.stderr
+
+    def test_non_object_entry_fails_by_name(self, tmp_path):
+        proc = run_compare(
+            tmp_path, {"a": fig(1.0)}, {"a": [1, 2, 3]}
+        )
+        assert proc.returncode == 1
+        assert "not an object" in proc.stderr
+
+
+class TestRegressionJudgement:
+    def test_slowdown_beyond_factor_and_abs_fails(self, tmp_path):
+        proc = run_compare(
+            tmp_path, {"a": fig(1.0)}, {"a": fig(3.0)}
+        )
+        assert proc.returncode == 1
+        assert "exceeds" in proc.stderr
+
+    def test_small_absolute_noise_passes(self, tmp_path):
+        # 3x slower but only 0.2s absolute: under the --min-abs guard.
+        proc = run_compare(
+            tmp_path, {"a": fig(0.1)}, {"a": fig(0.3)}
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_unreadable_input_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(report({"a": fig(1.0)})))
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(bad), str(ok)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+
+    def test_committed_baseline_matches_smoke_figure_set(self):
+        # The committed baseline must gate exactly what --smoke emits,
+        # or the two-sided set check would fail every CI run.
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "baseline.json").read_text()
+        )
+        sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+        try:
+            from run_figures import figure_keys
+        finally:
+            sys.path.pop(0)
+        assert set(baseline["figures"]) == figure_keys(smoke=True)

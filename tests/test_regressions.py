@@ -1,0 +1,128 @@
+"""Replay every committed fuzz counterexample forever.
+
+Files under ``tests/regressions/`` are shrunk reproducers of historical
+pipeline/oracle disagreements (see ``docs/fuzzing.md``).  Each must:
+
+* parse and carry a well-formed machine-readable header;
+* produce the pinned verdict from the *current* pipeline;
+* show **no** disagreement between the pipeline and the concrete
+  oracle — the bug that minted the file must stay fixed.
+
+``tools/check_regressions.py`` cross-checks this test's discovery
+against the directory contents in CI, so a dropped file cannot
+silently skip its replay.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.puppet.parser import parse_manifest
+from repro.testing import run_source
+from repro.testing.regressions import (
+    RegressionFormatError,
+    RegressionHeader,
+    discover,
+    format_reproducer,
+    parse_header,
+)
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+REGRESSIONS = discover(REGRESSION_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert REGRESSIONS, "tests/regressions/ must hold reproducers"
+
+
+@pytest.mark.parametrize(
+    "path", REGRESSIONS, ids=[p.stem for p in REGRESSIONS]
+)
+class TestReplay:
+    def test_parses_with_header(self, path):
+        text = path.read_text(encoding="utf8")
+        header = parse_header(text, path.name)
+        assert header.seed >= 0
+        # A reproducer minted under an older generator is stale: its
+        # seed/case-id no longer re-create the committed catalog.
+        # Re-mint the corpus when bumping GENERATOR_VERSION.
+        from repro.testing.generate import GENERATOR_VERSION
+
+        assert header.generator_version == GENERATOR_VERSION, (
+            f"{path.name}: minted under generator "
+            f"v{header.generator_version}, current is "
+            f"v{GENERATOR_VERSION}"
+        )
+        parse_manifest(text)
+
+    def test_no_disagreement_and_pinned_verdict(self, path):
+        text = path.read_text(encoding="utf8")
+        header = parse_header(text, path.name)
+        outcome = run_source(
+            text, name=path.name, oracle_seed=header.seed
+        )
+        assert outcome.agreed, (
+            f"{path.name}: the disagreement this reproducer was minted "
+            f"for is back: {outcome.kinds()}"
+        )
+        assert (
+            outcome.pipeline_deterministic
+            == header.expected_deterministic
+        ), f"{path.name}: pinned determinism verdict changed"
+        if header.expected_idempotent is not None:
+            assert (
+                outcome.pipeline_idempotent
+                == header.expected_idempotent
+            ), f"{path.name}: pinned idempotence verdict changed"
+
+
+class TestHeaderFormat:
+    def test_round_trip(self):
+        text = format_reproducer(
+            "file { '/etc/x': content => 'a' }",
+            seed=7,
+            case_id=3,
+            disagreement="missed_nondet",
+            expected_deterministic=False,
+            expected_idempotent=None,
+            bug_class="shared-write",
+            found_by="unit-test",
+        )
+        header = parse_header(text)
+        assert header == RegressionHeader(
+            seed=7,
+            case_id=3,
+            generator_version=header.generator_version,
+            disagreement="missed_nondet",
+            expected_deterministic=False,
+            expected_idempotent=None,
+            bug_class="shared-write",
+            found_by="unit-test",
+        )
+
+    def test_missing_marker_rejected(self):
+        with pytest.raises(RegressionFormatError, match="first line"):
+            parse_header("file { '/x': }")
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(RegressionFormatError, match="missing"):
+            parse_header(
+                "# rehearsal-fuzz reproducer\n# seed: 1\nfile { '/x': }"
+            )
+
+    def test_bad_tristate_rejected(self):
+        text = format_reproducer(
+            "file { '/x': }",
+            seed=1,
+            case_id=0,
+            disagreement="x",
+            expected_deterministic=True,
+        ).replace("expected-deterministic: true", "expected-deterministic: maybe")
+        with pytest.raises(RegressionFormatError, match="true/false/none"):
+            parse_header(text)
+
+    def test_discover_is_sorted_and_pp_only(self, tmp_path):
+        (tmp_path / "b.pp").write_text("x")
+        (tmp_path / "a.pp").write_text("x")
+        (tmp_path / "ignore.txt").write_text("x")
+        assert [p.name for p in discover(tmp_path)] == ["a.pp", "b.pp"]

@@ -379,6 +379,33 @@ class TestBatchVerifier:
         third = verifier.verify_sources([("good.pp", GOOD)])
         assert third.cache.hits == 1
 
+    def test_truncated_entry_mid_batch_pins_full_ledger(self, tmp_path):
+        # A cache entry cut off mid-JSON (torn write, full disk) must
+        # cost exactly one recompute — zero error rows — while the
+        # rest of the batch is served from the cache.  Pin the whole
+        # BatchReport ledger.
+        cache = VerdictCache(tmp_path / "c")
+        verifier = BatchVerifier(cache=cache)
+        sources = [("good.pp", GOOD), ("also.pp", ALSO_GOOD)]
+        verifier.verify_sources(sources)
+        entry = cache.directory / f"{cache_key(GOOD)}.json"
+        full = entry.read_text(encoding="utf8")
+        entry.write_text(full[: len(full) // 2], encoding="utf8")
+
+        report = verifier.verify_sources(sources)
+        assert [r.status for r in report.results] == ["ok", "ok"]
+        assert report.error_count == 0
+        assert report.cache.corrupted == 1
+        assert report.cache.misses == 1  # only the truncated entry
+        assert report.cache.hits == 1  # the intact one still serves
+        assert report.cache.read_errors == 0
+        assert report.cache.write_errors == 0
+        good, also = report.results
+        assert not good.cached, "truncated entry must be recomputed"
+        assert also.cached
+        # The recomputed verdict replaced the truncated entry.
+        assert verifier.verify_sources(sources).cache.hits == 2
+
     def test_parallel_batch_matches_serial(self, tmp_path):
         sources = [
             ("good.pp", GOOD),
@@ -577,3 +604,32 @@ class TestWorkerCrashIsolation:
         )
         assert report.result_for("good.pp").cached
         assert report.result_for("killer.pp").status == "error"
+
+    def test_mid_batch_death_costs_exactly_one_error_row(
+        self, tmp_path, monkeypatch
+    ):
+        # The full BatchReport ledger for a worker dying mid-batch:
+        # one error row for the killer, every other manifest verified,
+        # and the cache sees exactly one store per surviving verdict.
+        monkeypatch.setattr(orch_mod, "_verify_one", _crash_prone_verify_one)
+        cache = VerdictCache(tmp_path / "c")
+        verifier = BatchVerifier(cache=cache, workers=2)
+        sources = [
+            ("one.pp", GOOD),
+            ("killer.pp", "# CRASH-ME\n" + GOOD),
+            ("two.pp", ALSO_GOOD),
+            ("three.pp", NONDET),
+        ]
+        report = verifier.verify_sources(sources)
+        assert len(report.results) == 4
+        assert report.error_count == 1
+        assert report.ok_count == 2
+        assert report.failed_count == 1  # NONDET verified, negatively
+        assert report.cache.hits == 0
+        assert report.cache.misses == 4
+        assert report.cache.corrupted == 0
+        killer = report.result_for("killer.pp")
+        assert killer.status == "error"
+        assert "worker process died" in killer.error
+        # The three real verdicts were cached; the crash row was not.
+        assert len(cache) == 3
