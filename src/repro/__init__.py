@@ -25,7 +25,7 @@ Public API tour:
 # 1.3.0: race localization validates candidate pairs concretely on the
 # witness (race_pair/race_path in cached rows can change), and the
 # differential-fuzzing subsystem (repro.testing) ships.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.analysis.determinism import DeterminismOptions, DeterminismResult
 from repro.analysis.idempotence import IdempotenceResult

@@ -80,6 +80,14 @@ class DeterminismOptions:
     #: order-enumerating oracle the property tests compare against.
     use_memoization: bool = True
     well_formed_initial: bool = True
+    #: The lint fast path: before building any symbolic state, check
+    #: whether every *unordered* pair of resources commutes (Lemma 4,
+    #: the same footprint matrix the lint race rule uses).  If so the
+    #: graph is deterministic — any two linearizations are related by
+    #: adjacent transpositions of unordered pairs — and the check
+    #: returns with zero SAT queries.  Sound (Lemma 4 is a sufficient
+    #: condition); on fall-through the full analysis runs unchanged.
+    lint_prefilter: bool = False
     max_branches: int = 5000
     timeout_seconds: Optional[float] = None
     max_conflicts: Optional[int] = None
@@ -129,6 +137,10 @@ class DeterminismStats:
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
     elimination_fallback: bool = False
+    #: True when the lint prefilter proved determinism footprint-only
+    #: (every unordered pair commutes): no symbolic exploration, no
+    #: encoding, zero SAT queries.
+    prefilter_proved: bool = False
 
 
 @dataclass
@@ -311,6 +323,19 @@ def check_determinism(
         else None
     )
 
+    # The lint fast path runs before any other pass: footprints of the
+    # original programs are exactly what `rehearsal lint` computes, so
+    # a manifest lint proves pairwise-disjoint skips elimination,
+    # pruning, symbolic exploration, and SAT entirely.
+    if options.lint_prefilter and graph.number_of_nodes() > 1:
+        prints = {n: footprint(programs[n]) for n in graph.nodes}
+        if _unordered_pairs_commute(graph, commutativity_matrix(prints)):
+            stats.prefilter_proved = True
+            stats.resources_after_elimination = stats.resources_total
+            stats.distinct_finals = 1
+            stats.total_seconds = time.perf_counter() - start
+            return DeterminismResult(True, stats)
+
     work_graph = graph
     work_programs = dict(programs)
 
@@ -456,6 +481,7 @@ def check_determinism(
             use_simplification=options.use_simplification,
             use_memoization=options.use_memoization,
             well_formed_initial=options.well_formed_initial,
+            lint_prefilter=options.lint_prefilter,
             max_branches=options.max_branches,
             timeout_seconds=options.timeout_seconds,
             max_conflicts=options.max_conflicts,
@@ -498,6 +524,23 @@ def check_determinism(
         witness_outcomes=outcome_pair,
         race=race,
     )
+
+
+def _unordered_pairs_commute(graph: "nx.DiGraph", matrix) -> bool:
+    """True when every pair of resources with no ordering constraint
+    between them commutes.  Any two topological linearizations are
+    related by adjacent transpositions of unordered pairs, so this
+    implies a unique outcome for every initial state (ordered pairs
+    never swap and need no check)."""
+    nodes = list(graph.nodes)
+    reach = {n: nx.descendants(graph, n) for n in nodes}
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if b in reach[a] or a in reach[b]:
+                continue
+            if not matrix[a][b]:
+                return False
+    return True
 
 
 def _diverging_orders(

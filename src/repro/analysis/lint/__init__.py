@@ -1,0 +1,49 @@
+"""Rehearsal lint: the catalog-level static analyzer (SAT-free).
+
+Public surface::
+
+    from repro.analysis.lint import LintOptions, lint_source
+    report = lint_source(open("site.pp").read(), name="site.pp")
+    print(report.render())      # human text
+    report.to_dict()            # --format json / verify-batch rows
+    render_sarif(report)        # --format sarif (SARIF 2.1.0)
+"""
+
+from repro.analysis.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    LintStats,
+    RaceWitness,
+    Related,
+    Severity,
+)
+from repro.analysis.lint.engine import (
+    RULES,
+    LintContext,
+    LintOptions,
+    Rule,
+    lint_graph,
+    lint_source,
+)
+from repro.analysis.lint.sarif import render_sarif, to_sarif
+
+# Importing the package fully populates the registry: RULES must list
+# the whole catalogue even before the first lint_source() call.
+import repro.analysis.lint.rules  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintOptions",
+    "LintReport",
+    "LintStats",
+    "RaceWitness",
+    "Related",
+    "Rule",
+    "RULES",
+    "Severity",
+    "lint_graph",
+    "lint_source",
+    "render_sarif",
+    "to_sarif",
+]

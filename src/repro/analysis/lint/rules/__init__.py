@@ -1,0 +1,27 @@
+"""Lint rule catalogue.  Importing this package registers every rule
+and checker with the engine; rule ids are stable and never reused.
+
+==========  =========================  ========  ==========================
+id          name                       severity  grounding
+==========  =========================  ========  ==========================
+REH001      parse-error                error     frontend (§3)
+REH002      eval-error                 error     frontend (§3)
+REH003      resource-model-error       error     resource models (§4.1)
+REH004      duplicate-path-claim       error     Fig. 1 bug class
+REH005      definite-race              error     §2/§6 missing-dep bugs
+REH006      possible-race              warning   Lemma 4 over-approximation
+REH007      dangling-reference         error     catalog well-formedness
+REH008      dependency-cycle           error     Fig. 3b failure mode
+REH009      missing-parent-dir         note      Fig. 1 footnote auto-require
+REH010      protected-write            warning   §9 security auditing
+REH011      non-idempotent-resource    warning   §5 idempotence, per-resource
+==========  =========================  ========  ==========================
+"""
+
+from repro.analysis.lint.rules import (  # noqa: F401
+    catalog,
+    errors,
+    filesystem,
+    idempotence,
+    races,
+)

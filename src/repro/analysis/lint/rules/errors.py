@@ -1,0 +1,52 @@
+"""Frontend-failure rules (REH001–REH003).
+
+These have no checker functions: the engine emits them directly from
+the staged pipeline when parsing, evaluation, or resource compilation
+fails.  They are registered here so the ids appear in the SARIF rule
+table and can be disabled like any other rule.
+"""
+
+from repro.analysis.lint.diagnostics import Severity
+from repro.analysis.lint.engine import Rule, register_rule
+
+register_rule(
+    Rule(
+        id="REH001",
+        name="parse-error",
+        severity=Severity.ERROR,
+        summary="manifest does not parse",
+        description=(
+            "The manifest is not syntactically valid Puppet (for the "
+            "subset of the language this tool models). Nothing else "
+            "can be checked until it parses."
+        ),
+    )
+)
+
+register_rule(
+    Rule(
+        id="REH002",
+        name="eval-error",
+        severity=Severity.ERROR,
+        summary="manifest does not evaluate to a catalog",
+        description=(
+            "Catalog compilation failed: an undefined variable, a "
+            "duplicate resource declaration, an unknown class or "
+            "define, or a failing builtin."
+        ),
+    )
+)
+
+register_rule(
+    Rule(
+        id="REH003",
+        name="resource-model-error",
+        severity=Severity.ERROR,
+        summary="resource cannot be modeled as a filesystem program",
+        description=(
+            "A declared resource has no model or is missing required "
+            "attributes, so its filesystem semantics are unknown. "
+            "Rules that need footprints skip manifests with this error."
+        ),
+    )
+)

@@ -1,0 +1,76 @@
+"""Per-resource idempotence rule (REH011 non-idempotent-resource).
+
+The paper checks idempotence of the *whole manifest* with SAT (§5);
+this rule is the lint-sized version: each resource's program is run
+twice in a row, concretely, from a small family of initial states.
+If the second run changes the filesystem the first run produced, the
+resource is not idempotent in isolation — the usual culprit is an
+unguarded operation (``creat``/``rm``/``mkdir`` without an existence
+check)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.engine import (
+    LintContext,
+    Rule,
+    graph_checker,
+    register_rule,
+)
+from repro.fs import eval_expr, is_error
+from repro.testing.oracle import initial_state_family
+
+#: States sampled per resource; the family's first entries (empty,
+#: scaffold, converged) catch the common unguarded-operation shapes.
+_MAX_STATES = 6
+
+register_rule(
+    Rule(
+        id="REH011",
+        name="non-idempotent-resource",
+        severity=Severity.WARNING,
+        summary="running a resource twice changes the filesystem again",
+        description=(
+            "Concretely evaluating the resource's filesystem program "
+            "twice from the same initial state yields a different "
+            "result than evaluating it once: the resource is not "
+            "idempotent in isolation, so repeated Puppet runs keep "
+            "mutating the host. Whole-manifest idempotence is decided "
+            "by `rehearsal verify`."
+        ),
+    )
+)
+
+
+@graph_checker
+def non_idempotent_resources(ctx: LintContext) -> Iterable[Diagnostic]:
+    if not ctx.programs:
+        return
+    for node in sorted(ctx.programs, key=str):
+        program = ctx.programs[node]
+        states = initial_state_family(
+            [program], max_states=_MAX_STATES, seed=0
+        )
+        for initial in states:
+            once = eval_expr(program, initial)
+            if is_error(once):
+                continue
+            twice = eval_expr(program, once)
+            if is_error(twice) or twice != once:
+                line, col = ctx.span_of(node)
+                yield ctx.diag(
+                    "REH011",
+                    f"{node} is not idempotent: a second run from the "
+                    f"state the first run produced "
+                    + (
+                        "fails"
+                        if is_error(twice)
+                        else "changes the filesystem again"
+                    ),
+                    line=line,
+                    col=col,
+                    resource=str(node),
+                )
+                break

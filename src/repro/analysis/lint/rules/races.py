@@ -1,0 +1,266 @@
+"""Race rules (REH005 definite-race, REH006 possible-race).
+
+The candidate set is footprint-based (§4.3, Lemma 4): every unordered
+pair of resources whose footprints conflict.  That check alone
+over-approximates, so each candidate is *self-validated* before being
+reported as definite: the checker builds two complete topological
+linearizations of the whole graph that differ only in the pair's
+order, concretely evaluates both (Fig. 5 reference semantics) from a
+family of well-formed initial states, and promotes the candidate to
+REH005 only when the **full-run outcomes differ**.  A REH005 therefore
+comes with a replayable witness and is a true positive by
+construction; candidates the budget cannot confirm stay REH006
+warnings.
+
+Both linearizations are valid orders: with ``S`` the non-descendants
+of the pair, ``S`` is predecessor-closed, and neither element of an
+unordered pair can precede the other, so ``topo(S), a, b,
+topo(rest)`` respects every edge (likewise with the pair swapped, and
+likewise for the ancestors-first variant used as a second attempt —
+placing the pair late keeps later resources from masking the
+divergence; placing it early maximizes what the divergence can
+poison)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.analysis.commutativity import Footprint, commutativity_matrix
+from repro.analysis.lint.diagnostics import (
+    Diagnostic,
+    RaceWitness,
+    Related,
+    Severity,
+)
+from repro.analysis.lint.engine import (
+    LintContext,
+    Rule,
+    graph_checker,
+    register_rule,
+)
+from repro.fs import ERROR, eval_expr, is_error
+from repro.testing.oracle import initial_state_family
+
+register_rule(
+    Rule(
+        id="REH005",
+        name="definite-race",
+        severity=Severity.ERROR,
+        summary="unordered resources provably produce different outcomes",
+        description=(
+            "Two resources with no ordering constraint between them "
+            "have conflicting filesystem footprints, and concretely "
+            "evaluating two complete apply orders that differ only in "
+            "this pair produces different final filesystems. The "
+            "manifest is non-deterministic; the finding carries the "
+            "witness initial state and both orders."
+        ),
+    )
+)
+
+register_rule(
+    Rule(
+        id="REH006",
+        name="possible-race",
+        severity=Severity.WARNING,
+        summary="unordered resources have conflicting footprints",
+        description=(
+            "Two resources with no ordering constraint have "
+            "conflicting footprints (Lemma 4), but no concrete "
+            "divergence was found within the confirmation budget. "
+            "The conflict may still be benign (both orders can "
+            "converge); full SAT-backed verification can decide."
+        ),
+    )
+)
+
+
+@graph_checker
+def races(ctx: LintContext) -> Iterable[Diagnostic]:
+    graph = ctx.graph
+    if graph is None or graph.number_of_nodes() < 2:
+        return
+    if ctx.failed:
+        # Footprints of unmodeled resources are unknown; candidates
+        # would be incomplete and confirmations unreplayable.  The
+        # REH003 errors already make the manifest exit 2.
+        return
+
+    footprints = ctx.footprints
+    matrix = commutativity_matrix(footprints)
+    candidates = _candidates(graph, matrix)
+    ctx.report.stats.race_candidates = len(candidates)
+    if not candidates:
+        return
+
+    states: List = []
+    if ctx.options.confirm_races:
+        states = initial_state_family(
+            ctx.programs.values(),
+            max_states=ctx.options.max_confirm_states,
+            seed=0,
+        )
+
+    for a, b in candidates:
+        paths = _conflicting_paths(footprints[a], footprints[b])
+        witness, swept = _confirm(ctx, graph, a, b, states)
+        primary, other = sorted(
+            (a, b), key=lambda n: (ctx.span_of(n), str(n))
+        )
+        line, col = ctx.span_of(primary)
+        o_line, o_col = ctx.span_of(other)
+        contended = ", ".join(str(p) for p in sorted(paths)) or "error status"
+        if witness is not None:
+            ctx.report.stats.races_confirmed += 1
+            ctx.report.race_witnesses.append(witness)
+            yield ctx.diag(
+                "REH005",
+                f"definite race: {primary} and {other} have no ordering "
+                f"constraint and provably diverge (contended: "
+                f"{contended})",
+                line=line,
+                col=col,
+                resource=str(primary),
+                related=(
+                    Related(
+                        f"{other} declared here, unordered against "
+                        f"{primary}",
+                        line=o_line,
+                        col=o_col,
+                    ),
+                ),
+                paths=tuple(str(p) for p in sorted(paths)),
+            )
+        else:
+            # A completed sweep is concrete evidence of benignity:
+            # both orders agreed on every sampled well-formed state,
+            # so demote to an advisory note.  Candidates the budget
+            # (or --no-confirm) left unexamined stay warnings.
+            demote = swept and states
+            suffix = (
+                f"; both orders agree on all {len(states)} sampled "
+                "initial states"
+                if demote
+                else "; unconfirmed within the evaluation budget"
+                if states
+                else "; confirmation disabled"
+            )
+            yield ctx.diag(
+                "REH006",
+                f"possible race: {primary} and {other} have no ordering "
+                f"constraint and conflicting footprints (contended: "
+                f"{contended}{suffix})",
+                line=line,
+                col=col,
+                resource=str(primary),
+                related=(
+                    Related(
+                        f"{other} declared here, unordered against "
+                        f"{primary}",
+                        line=o_line,
+                        col=o_col,
+                    ),
+                ),
+                paths=tuple(str(p) for p in sorted(paths)),
+                severity=Severity.NOTE if demote else None,
+            )
+
+
+def _candidates(graph, matrix) -> List[Tuple[object, object]]:
+    """Unordered pairs with conflicting footprints, deterministically
+    ordered."""
+    nodes = sorted(graph.nodes, key=str)
+    reach: Dict[object, Set[object]] = {
+        n: nx.descendants(graph, n) for n in nodes
+    }
+    out = []
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if b in reach[a] or a in reach[b]:
+                continue
+            if matrix[a][b]:
+                continue
+            out.append((a, b))
+    return out
+
+
+def _conflicting_paths(fa: Footprint, fb: Footprint) -> Set:
+    """The paths on which Lemma 4 fails for this pair (for messages)."""
+    paths: Set = set()
+    for x, y in ((fa, fb), (fb, fa)):
+        touch_rw = y.reads | y.writes
+        paths |= x.writes & (touch_rw | y.dir_ensures)
+        paths |= x.dir_ensures & touch_rw
+        grows = y.writes | y.dir_ensures
+        for d in x.children_reads:
+            paths.update(p for p in grows if d.is_ancestor_of(p))
+    return paths
+
+
+def _pair_orders(
+    graph, a, b, late: bool
+) -> Tuple[List[object], List[object]]:
+    """Two complete topological orders differing only in the (a, b)
+    order.  ``late`` places the pair after every non-descendant;
+    otherwise right after the pair's ancestors."""
+    if late:
+        after = (nx.descendants(graph, a) | nx.descendants(graph, b)) - {
+            a,
+            b,
+        }
+        before = set(graph.nodes) - after - {a, b}
+    else:
+        before = (nx.ancestors(graph, a) | nx.ancestors(graph, b)) - {a, b}
+        after = set(graph.nodes) - before - {a, b}
+    prefix = list(nx.lexicographical_topological_sort(
+        graph.subgraph(before), key=str
+    ))
+    suffix = list(nx.lexicographical_topological_sort(
+        graph.subgraph(after), key=str
+    ))
+    return prefix + [a, b] + suffix, prefix + [b, a] + suffix
+
+
+def _run(programs: Dict[object, object], order: List[object], state):
+    fs = state
+    for node in order:
+        fs = eval_expr(programs[node], fs)
+        if is_error(fs):
+            return ERROR
+    return fs
+
+
+def _confirm(
+    ctx: LintContext, graph, a, b, states
+) -> Tuple[Optional[RaceWitness], bool]:
+    """Try to produce a divergence witness for the pair.  Returns
+    ``(witness, swept)`` where ``swept`` means every placement/state
+    combination was evaluated (so the absence of a witness is concrete
+    evidence of benignity, not a truncated search)."""
+    stats = ctx.report.stats
+    budget = ctx.options.max_confirm_evaluations
+    for late in (True, False):
+        order_ab, order_ba = _pair_orders(graph, a, b, late=late)
+        for initial in states:
+            if stats.confirm_evaluations + 2 > budget:
+                stats.confirm_budget_exhausted = True
+                return None, False
+            stats.confirm_evaluations += 2
+            out_ab = _run(ctx.programs, order_ab, initial)
+            out_ba = _run(ctx.programs, order_ba, initial)
+            if out_ab != out_ba:
+                return (
+                    RaceWitness(
+                        a=str(a),
+                        b=str(b),
+                        initial=initial,
+                        order_a=order_ab,
+                        order_b=order_ba,
+                        outcome_a=out_ab,
+                        outcome_b=out_ba,
+                    ),
+                    True,
+                )
+    return None, True

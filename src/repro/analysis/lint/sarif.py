@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 output backend.
+
+Produces one SARIF log per lint invocation — one run, one result per
+diagnostic — shaped for GitHub code scanning (`upload-sarif`): the
+driver carries the full rule table with help text, every result
+anchors a ``physicalLocation`` when a source span is known (regions
+are omitted for span-less findings rather than emitting line 0, which
+the schema forbids), and related locations carry the secondary spans
+(the other half of a race pair, the first claimant of a duplicated
+path)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.lint.diagnostics import Diagnostic, LintReport
+from repro.analysis.lint.engine import RULES, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+TOOL_NAME = "rehearsal-lint"
+TOOL_URI = "https://github.com/rehearsal-repro/rehearsal"
+
+
+def _rule_to_sarif(rule: Rule, index: int) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.description or rule.summary},
+        "defaultConfiguration": {"level": rule.severity.sarif_level},
+        "helpUri": f"{TOOL_URI}/blob/main/docs/lint.md#{rule.id.lower()}",
+    }
+
+
+def _location(file: str, line: int, col: int, message: str = "") -> dict:
+    physical: dict = {
+        "artifactLocation": {"uri": file, "uriBaseId": "SRCROOT"}
+    }
+    if line > 0:
+        region = {"startLine": line}
+        if col > 0:
+            region["startColumn"] = col
+        physical["region"] = region
+    location: dict = {"physicalLocation": physical}
+    if message:
+        location["message"] = {"text": message}
+    return location
+
+
+def _result(diag: Diagnostic, rule_index: Dict[str, int]) -> dict:
+    result = {
+        "ruleId": diag.rule_id,
+        "ruleIndex": rule_index[diag.rule_id],
+        "level": diag.severity.sarif_level,
+        "message": {"text": diag.message},
+        "locations": [_location(diag.file, diag.line, diag.col)],
+    }
+    if diag.related:
+        result["relatedLocations"] = [
+            _location(diag.file, r.line, r.col, r.message)
+            for r in diag.related
+        ]
+    properties = {}
+    if diag.resource:
+        properties["resource"] = diag.resource
+    if diag.paths:
+        properties["paths"] = list(diag.paths)
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def to_sarif(
+    reports: "Sequence[LintReport] | LintReport",
+    tool_version: str = "",
+) -> dict:
+    """Build the SARIF log object for one or many lint reports
+    (many = one run with results across several artifacts, the shape
+    ``rehearsal lint a.pp b.pp --format sarif`` emits)."""
+    if isinstance(reports, LintReport):
+        reports = [reports]
+    rules = sorted(RULES.values(), key=lambda r: r.id)
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    driver: dict = {
+        "name": TOOL_NAME,
+        "informationUri": TOOL_URI,
+        "rules": [_rule_to_sarif(r, i) for i, r in enumerate(rules)],
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    results: List[dict] = []
+    for report in reports:
+        for diag in sorted(
+            report.diagnostics,
+            key=lambda d: (d.file, d.line, d.col, d.rule_id, d.message),
+        ):
+            results.append(_result(diag, rule_index))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    reports: "Sequence[LintReport] | LintReport",
+    tool_version: str = "",
+) -> str:
+    return json.dumps(to_sarif(reports, tool_version), indent=2) + "\n"

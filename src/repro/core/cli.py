@@ -22,6 +22,10 @@ Two commands behind one ``rehearsal`` entry point (see setup.py
   differential fuzzing: random catalogs through both the symbolic
   pipeline and the concrete interleavings oracle
   (:mod:`repro.testing`); exit 1 on any disagreement.
+* ``rehearsal lint <manifests...> [--format text|json|sarif]`` — the
+  catalog-level static analyzer (:mod:`repro.analysis.lint`): rule
+  diagnostics with source spans, no SAT.  Exit 0 — clean (at most
+  notes), 1 — warnings, 2 — errors, 3 — bad invocation.
 
 Exit codes of the verify commands: 0 — verified (for the batch: every
 manifest produced a verdict, and with ``--strict`` every verdict is
@@ -84,6 +88,13 @@ def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="analysis timeout in seconds (per manifest)",
     )
+    parser.add_argument(
+        "--lint-prefilter",
+        action="store_true",
+        help="prove determinism footprint-only when every unordered "
+        "resource pair commutes (the lint fast path), skipping "
+        "symbolic exploration and SAT entirely for such manifests",
+    )
 
 
 def _options_from_args(args: argparse.Namespace) -> DeterminismOptions:
@@ -92,6 +103,7 @@ def _options_from_args(args: argparse.Namespace) -> DeterminismOptions:
         use_commutativity=not args.no_commutativity,
         use_elimination=not args.no_elimination,
         timeout_seconds=args.timeout,
+        lint_prefilter=args.lint_prefilter,
     )
 
 
@@ -171,7 +183,14 @@ def run_verify(argv) -> int:
 
         _, programs = tool.compile(source)
         print()
-        print(render_explanation(report.determinism, programs))
+        print(
+            render_explanation(
+                report.determinism,
+                programs,
+                declared_at=report.declared_at,
+                manifest_name=report.manifest_name,
+            )
+        )
     return 0 if report.ok else 1
 
 
@@ -531,6 +550,14 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "path (default: 0.35)",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run the static analyzer on every case and "
+        "cross-examine it against the oracle: a definite race "
+        "(REH005) the oracle refutes is a failing lint_false_race "
+        "disagreement; races lint misses are counted, not failures",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-case progress lines",
@@ -608,6 +635,7 @@ def run_fuzz(argv) -> int:
         shrink=args.shrink,
         generator_config=config,
         progress=progress,
+        lint=args.lint,
     )
     print(
         f"fuzzing with seed {args.seed}: "
@@ -623,6 +651,13 @@ def run_fuzz(argv) -> int:
         f"ran {summary.cases_run}/{summary.case_quota} cases in "
         f"{summary.elapsed_seconds:.1f}s: {counts or 'nothing'}"
     )
+    if summary.lint_enabled:
+        print(
+            f"lint: {summary.lint_definite_races} case(s) with definite "
+            f"races, {summary.lint_false_races} false race(s), "
+            f"{summary.lint_missed_definite_races} missed definite "
+            "race(s)"
+        )
     truncated_failure = False
     if summary.truncated:
         if args.cases is not None:
@@ -684,6 +719,153 @@ def run_fuzz(argv) -> int:
     return 0
 
 
+# -- rehearsal lint -----------------------------------------------------------
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal lint",
+        description=(
+            "Statically analyze Puppet manifests against the "
+            "Rehearsal rule catalogue (REH001..): races, duplicate "
+            "path claims, dangling references, cycles, filesystem "
+            "hygiene — with source-span diagnostics and zero SAT "
+            "queries.  See docs/lint.md for the rules."
+        ),
+        epilog=(
+            "Exit codes: 0 — clean (at most notes); 1 — warnings; "
+            "2 — errors; 3 — bad invocation."
+        ),
+    )
+    parser.add_argument(
+        "manifests", nargs="+", help="paths to .pp manifest files"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text); sarif emits one SARIF "
+        "2.1.0 log covering every linted manifest",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--protect",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="flag writes inside this subtree (REH010); repeatable",
+    )
+    parser.add_argument(
+        "--no-confirm",
+        action="store_true",
+        help="skip the concrete two-order confirmation of race "
+        "candidates; every candidate stays a possible-race warning",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULE",
+        action="append",
+        default=[],
+        help="suppress a rule id (e.g. --disable REH009); repeatable",
+    )
+    parser.add_argument(
+        "--platform",
+        default="ubuntu",
+        help="target platform for package modeling (default: ubuntu)",
+    )
+    parser.add_argument(
+        "--node",
+        default="default",
+        help="node name used to select node blocks",
+    )
+    parser.add_argument(
+        "--strict-packages",
+        action="store_true",
+        help="fail on packages missing from the database instead of "
+        "synthesizing a listing",
+    )
+    return parser
+
+
+def run_lint(argv) -> int:
+    import json as _json
+
+    from repro import __version__
+    from repro.analysis.lint import LintOptions, lint_source, render_sarif
+    from repro.fs.paths import Path as FsPath
+
+    args = build_lint_parser().parse_args(argv)
+    try:
+        protected = tuple(FsPath.of(p) for p in args.protect)
+    except ValueError as exc:
+        print(f"error: bad --protect path: {exc}", file=sys.stderr)
+        return 3
+    options = LintOptions(
+        confirm_races=not args.no_confirm,
+        protected=protected,
+        disabled=tuple(args.disable),
+    )
+    context = ModelContext(
+        package_db=PackageDatabase(synthesize=not args.strict_packages),
+        platform=args.platform,
+    )
+
+    reports = []
+    for manifest in args.manifests:
+        try:
+            source = OsPath(manifest).read_text(encoding="utf8")
+        except (OSError, UnicodeDecodeError) as exc:
+            print(
+                f"error: cannot read manifest {manifest}: {exc}",
+                file=sys.stderr,
+            )
+            return 3
+        reports.append(
+            lint_source(
+                source,
+                name=manifest,
+                options=options,
+                context=context,
+                node_name=args.node,
+            )
+        )
+
+    if args.format == "sarif":
+        output = render_sarif(reports, tool_version=__version__)
+    elif args.format == "json":
+        output = (
+            _json.dumps(
+                {
+                    "schema": 1,
+                    "manifests": [r.to_dict() for r in reports],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    else:
+        output = "\n\n".join(r.render() for r in reports) + "\n"
+
+    if args.out is not None:
+        try:
+            OsPath(args.out).write_text(output, encoding="utf8")
+        except OSError as exc:
+            print(
+                f"error: cannot write --out {args.out}: {exc}",
+                file=sys.stderr,
+            )
+            return 3
+    else:
+        sys.stdout.write(output)
+
+    return max(r.exit_code for r in reports)
+
+
 # -- dispatch -----------------------------------------------------------------
 
 
@@ -697,6 +879,8 @@ def main(argv=None) -> int:
         return run_solve(argv[1:])
     if argv and argv[0] == "fuzz":
         return run_fuzz(argv[1:])
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:])
     if argv and argv[0] == "verify":
         argv = argv[1:]
     return run_verify(argv)

@@ -46,6 +46,10 @@ class VerificationReport:
     error_transient: bool = False  # load-dependent (wall-clock timeout),
     # not a function of the manifest — never cached
     total_seconds: float = 0.0
+    #: Resource ref (as graph-node string) → (line, col) of its
+    #: declaration in the manifest source; 0 = span unknown.  Lets
+    #: race messages say where the racing resources were declared.
+    declared_at: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -196,6 +200,13 @@ class Rehearsal:
             report.total_seconds = time.perf_counter() - start
             return report
         report.resource_count = graph.number_of_nodes()
+        for node, data in graph.nodes(data=True):
+            entry = data.get("entry")
+            if entry is not None:
+                report.declared_at[str(node)] = (
+                    entry.resource.line,
+                    entry.resource.col,
+                )
         try:
             det = check_determinism(graph, programs, self.options)
             report.determinism = det

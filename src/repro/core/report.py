@@ -10,7 +10,28 @@ from repro.core.pipeline import VerificationReport
 from repro.smt.model import describe_filesystem
 
 
-def render_explanation(result: DeterminismResult, programs) -> str:
+def _declaration_lines(
+    resources, declared_at, manifest_name: str
+) -> List[str]:
+    """``File['/etc/ntp.conf'] declared at ntp.pp:14`` for every
+    resource with a known source span."""
+    lines: List[str] = []
+    if not declared_at:
+        return lines
+    for res in resources:
+        span = declared_at.get(str(res))
+        if span and span[0]:
+            where = f"{manifest_name}:{span[0]}" if manifest_name else f"line {span[0]}"
+            lines.append(f"  {res} declared at {where}")
+    return lines
+
+
+def render_explanation(
+    result: DeterminismResult,
+    programs,
+    declared_at=None,
+    manifest_name: str = "",
+) -> str:
     """Narrate the two diverging orders step by step on the witness
     machine state (the --explain view)."""
     from repro.fs.trace import explain_order
@@ -20,6 +41,13 @@ def render_explanation(result: DeterminismResult, programs) -> str:
     parts = []
     if result.race is not None:
         parts.append(f"Race localized (unsat core): {result.race.describe()}")
+        parts.extend(
+            _declaration_lines(
+                (result.race.resource_a, result.race.resource_b),
+                declared_at,
+                manifest_name,
+            )
+        )
         if result.race.ok_divergence:
             parts.append(
                 "The orders disagree on whether the run errors at all."
@@ -38,14 +66,30 @@ def render_explanation(result: DeterminismResult, programs) -> str:
     return "\n".join(parts)
 
 
-def render_determinism(result: DeterminismResult) -> str:
+def render_determinism(
+    result: DeterminismResult,
+    declared_at=None,
+    manifest_name: str = "",
+) -> str:
     lines: List[str] = []
     if result.deterministic:
         lines.append("DETERMINISTIC: all orders produce the same outcome.")
+        if result.stats.prefilter_proved:
+            lines.append(
+                "(proved by the lint prefilter: every unordered pair "
+                "commutes; no symbolic exploration or SAT)"
+            )
     else:
         lines.append("NON-DETERMINISTIC: resource orders diverge.")
         if result.race is not None:
             lines.append(f"Race localized: {result.race.describe()}")
+            lines.extend(
+                _declaration_lines(
+                    (result.race.resource_a, result.race.resource_b),
+                    declared_at,
+                    manifest_name,
+                )
+            )
         if result.witness_fs is not None:
             lines.append("Witness initial filesystem:")
             lines.append(_indent(describe_filesystem(result.witness_fs)))
@@ -126,7 +170,13 @@ def render_report(report: VerificationReport) -> str:
         return "\n".join(lines)
     lines.append(f"{report.resource_count} primitive resources")
     if report.determinism is not None:
-        lines.append(render_determinism(report.determinism))
+        lines.append(
+            render_determinism(
+                report.determinism,
+                declared_at=report.declared_at,
+                manifest_name=report.manifest_name,
+            )
+        )
     if report.idempotence is not None:
         lines.append(render_idempotence(report.idempotence))
     elif report.deterministic is False:

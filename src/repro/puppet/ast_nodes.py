@@ -89,6 +89,7 @@ class FunctionCall(Expr):
 @dataclass(frozen=True)
 class Statement:
     line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,8 @@ class AttributeDef:
 class ResourceBody:
     title: Expr
     attributes: Tuple[AttributeDef, ...]
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)

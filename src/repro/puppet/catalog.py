@@ -55,6 +55,9 @@ class Edge:
     source: RefValue
     target: RefValue
     kind: str = "before"  # "before" | "notify" (same ordering effect)
+    # Span of the declaration that created the edge (0 = unknown).
+    line: int = 0
+    col: int = 0
 
 
 class Catalog:
@@ -83,8 +86,15 @@ class Catalog:
     def get(self, rtype: str, title: str) -> Optional[CatalogResource]:
         return self.resources.get((rtype.lower(), title))
 
-    def add_edge(self, source: RefValue, target: RefValue, kind: str = "before") -> None:
-        self.edges.append(Edge(source, target, kind))
+    def add_edge(
+        self,
+        source: RefValue,
+        target: RefValue,
+        kind: str = "before",
+        line: int = 0,
+        col: int = 0,
+    ) -> None:
+        self.edges.append(Edge(source, target, kind, line=line, col=col))
 
     # -- queries ---------------------------------------------------------------
 

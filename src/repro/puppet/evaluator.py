@@ -57,6 +57,8 @@ class _DeferredCollector:
 class _DeferredChain:
     operands: Tuple[object, ...]  # RefValue lists or _DeferredCollector
     arrows: Tuple[str, ...]
+    line: int = 0
+    col: int = 0
 
 
 class Evaluator:
@@ -172,10 +174,13 @@ class Evaluator:
             return
         if isinstance(stmt, ast.IncludeStatement):
             for name in stmt.names:
-                self._declare_class(name, {}, stmt.line)
+                self._declare_class(name, {}, stmt.line, col=stmt.col)
                 if stmt.require_edges and self._container_stack:
                     self.catalog.add_edge(
-                        RefValue("class", name), self._container_stack[-1]
+                        RefValue("class", name),
+                        self._container_stack[-1],
+                        line=stmt.line,
+                        col=stmt.col,
                     )
             return
         if isinstance(stmt, ast.Collector):
@@ -223,27 +228,39 @@ class Evaluator:
             attrs = {}
             for attr in body.attributes:
                 attrs[attr.name] = self._eval(attr.value)
+            line = body.line or stmt.line
+            col = body.col or stmt.col
             for title in titles:
                 if rtype == "class":
-                    self._declare_class(title, dict(attrs), stmt.line)
+                    self._declare_class(
+                        title, dict(attrs), line, col=col
+                    )
                 elif rtype in self.defines:
                     self._instantiate_define(
-                        rtype, title, dict(attrs), stmt.virtual
+                        rtype, title, dict(attrs), stmt.virtual,
+                        line=line, col=col,
                     )
                 else:
                     self._declare_primitive(
-                        rtype, title, dict(attrs), stmt.virtual
+                        rtype, title, dict(attrs), stmt.virtual,
+                        line=line, col=col,
                     )
 
     def _declare_primitive(
-        self, rtype: str, title: str, attrs: Dict[str, Value], virtual: bool
+        self,
+        rtype: str,
+        title: str,
+        attrs: Dict[str, Value],
+        virtual: bool,
+        line: int = 0,
+        col: int = 0,
     ) -> None:
         for name, value in self.defaults.get(rtype, {}).items():
             attrs.setdefault(name, value)
         ref = RefValue(rtype, title)
-        meta = self._extract_edges(ref, attrs)
+        meta = self._extract_edges(ref, attrs, line=line, col=col)
         entry = CatalogResource(
-            resource=Resource(rtype, title, attrs),
+            resource=Resource(rtype, title, attrs, line=line, col=col),
             containers=tuple(str(c) for c in self._container_stack),
             virtual=virtual,
             stage=meta.get("stage"),
@@ -251,15 +268,21 @@ class Evaluator:
         self.catalog.add(entry)
 
     def _instantiate_define(
-        self, rtype: str, title: str, attrs: Dict[str, Value], virtual: bool
+        self,
+        rtype: str,
+        title: str,
+        attrs: Dict[str, Value],
+        virtual: bool,
+        line: int = 0,
+        col: int = 0,
     ) -> None:
         define = self.defines[rtype]
         for name, value in self.defaults.get(rtype, {}).items():
             attrs.setdefault(name, value)
         ref = RefValue(rtype, title)
-        self._extract_edges(ref, attrs)
+        self._extract_edges(ref, attrs, line=line, col=col)
         entry = CatalogResource(
-            resource=Resource(rtype, title, dict(attrs)),
+            resource=Resource(rtype, title, dict(attrs), line=line, col=col),
             containers=tuple(str(c) for c in self._container_stack),
             virtual=virtual,
             is_define_instance=True,
@@ -273,7 +296,7 @@ class Evaluator:
         self._with_scope_and_container(scope, ref, define.body)
 
     def _declare_class(
-        self, name: str, attrs: Dict[str, Value], line: int
+        self, name: str, attrs: Dict[str, Value], line: int, col: int = 0
     ) -> None:
         decl = self.classes.get(name)
         if decl is None:
@@ -286,9 +309,9 @@ class Evaluator:
             return
         self.included.add(name)
         ref = RefValue("class", name)
-        meta = self._extract_edges(ref, attrs)
+        meta = self._extract_edges(ref, attrs, line=line, col=col)
         entry = CatalogResource(
-            resource=Resource("class", name, dict(attrs)),
+            resource=Resource("class", name, dict(attrs), line=line, col=col),
             containers=tuple(str(c) for c in self._container_stack),
             stage=meta.get("stage"),
         )
@@ -344,7 +367,11 @@ class Evaluator:
             self.scopes.current = previous
 
     def _extract_edges(
-        self, ref: RefValue, attrs: Dict[str, Value]
+        self,
+        ref: RefValue,
+        attrs: Dict[str, Value],
+        line: int = 0,
+        col: int = 0,
     ) -> Dict[str, Value]:
         """Convert before/require/notify/subscribe metaparameters into
         edges; returns remaining interesting metaparameters (stage)."""
@@ -355,9 +382,13 @@ class Evaluator:
             value = attrs.pop(key)
             for target in _iter_refs(value, key):
                 if key in ("before", "notify"):
-                    self.catalog.add_edge(ref, target, kind="before")
+                    self.catalog.add_edge(
+                        ref, target, kind="before", line=line, col=col
+                    )
                 else:
-                    self.catalog.add_edge(target, ref, kind="before")
+                    self.catalog.add_edge(
+                        target, ref, kind="before", line=line, col=col
+                    )
         if "stage" in attrs:
             meta["stage"] = to_display(attrs.pop("stage"))
         attrs.pop("alias", None)
@@ -388,7 +419,9 @@ class Evaluator:
                     f"unsupported chain operand: {operand!r}"
                 )
         self._chains.append(
-            _DeferredChain(tuple(operands), stmt.arrows)
+            _DeferredChain(
+                tuple(operands), stmt.arrows, line=stmt.line, col=stmt.col
+            )
         )
 
     # -- deferred global passes -----------------------------------------------------
@@ -463,7 +496,9 @@ class Evaluator:
             for left, right in zip(resolved, resolved[1:]):
                 for src in left:
                     for dst in right:
-                        self.catalog.add_edge(src, dst)
+                        self.catalog.add_edge(
+                            src, dst, line=chain.line, col=chain.col
+                        )
 
     # -- expressions --------------------------------------------------------------
 

@@ -118,7 +118,7 @@ class Parser:
         body = self.parse_statements_until(T.RBRACE)
         self._expect(T.RBRACE)
         return ast.DefineDecl(
-            line=start.line, name=name, params=params, body=body
+            line=start.line, col=start.column, name=name, params=params, body=body
         )
 
     def _parse_class(self) -> ast.Statement:
@@ -132,7 +132,7 @@ class Parser:
         body = self.parse_statements_until(T.RBRACE)
         self._expect(T.RBRACE)
         return ast.ClassDecl(
-            line=start.line, name=name, params=params, parent=parent, body=body
+            line=start.line, col=start.column, name=name, params=params, parent=parent, body=body
         )
 
     def _parse_param_list(
@@ -169,7 +169,9 @@ class Parser:
         self._expect(T.LBRACE)
         body = self.parse_statements_until(T.RBRACE)
         self._expect(T.RBRACE)
-        return ast.NodeDecl(line=start.line, names=tuple(names), body=body)
+        return ast.NodeDecl(
+            line=start.line, col=start.column, names=tuple(names), body=body
+        )
 
     def _parse_if(self) -> ast.Statement:
         start = self._expect(T.IF)
@@ -191,7 +193,9 @@ class Parser:
             body = self.parse_statements_until(T.RBRACE)
             self._expect(T.RBRACE)
             branches.append((None, body))
-        return ast.IfStatement(line=start.line, branches=tuple(branches))
+        return ast.IfStatement(
+            line=start.line, col=start.column, branches=tuple(branches)
+        )
 
     def _parse_unless(self) -> ast.Statement:
         start = self._expect(T.UNLESS)
@@ -208,7 +212,9 @@ class Parser:
         branches = [(negated, body)]
         if else_body:
             branches.append((None, else_body))
-        return ast.IfStatement(line=start.line, branches=tuple(branches))
+        return ast.IfStatement(
+            line=start.line, col=start.column, branches=tuple(branches)
+        )
 
     def _parse_case(self) -> ast.Statement:
         start = self._expect(T.CASE)
@@ -231,7 +237,7 @@ class Parser:
             cases.append((tuple(matches), body))
         self._expect(T.RBRACE)
         return ast.CaseStatement(
-            line=start.line, subject=subject, cases=tuple(cases)
+            line=start.line, col=start.column, subject=subject, cases=tuple(cases)
         )
 
     def _parse_include(self, require_edges: bool) -> ast.Statement:
@@ -246,14 +252,16 @@ class Parser:
             if not self._accept(T.COMMA):
                 break
         return ast.IncludeStatement(
-            line=start.line, names=tuple(names), require_edges=require_edges
+            line=start.line, col=start.column, names=tuple(names), require_edges=require_edges
         )
 
     def _parse_assignment(self) -> ast.Statement:
         var = self._expect(T.VARIABLE)
         self._expect(T.ASSIGN)
         value = self.parse_expression()
-        return ast.Assignment(line=var.line, name=var.text, value=value)
+        return ast.Assignment(
+            line=var.line, col=var.column, name=var.text, value=value
+        )
 
     def _parse_call_statement(self) -> ast.Statement:
         name = self._expect(T.NAME)
@@ -266,6 +274,7 @@ class Parser:
         self._expect(T.RPAREN)
         return ast.ExpressionStatement(
             line=name.line,
+            col=name.column,
             expr=ast.FunctionCall(name.text, tuple(args)),
         )
 
@@ -291,6 +300,7 @@ class Parser:
         self._expect(T.RBRACE)
         return ast.ResourceDecl(
             line=tok.line,
+            col=tok.column,
             rtype=rtype,
             bodies=tuple(bodies),
             virtual=virtual,
@@ -298,10 +308,16 @@ class Parser:
         )
 
     def _parse_resource_body(self) -> ast.ResourceBody:
+        start = self._peek()
         title = self.parse_expression()
         self._expect(T.COLON)
         attributes = self._parse_attribute_list()
-        return ast.ResourceBody(title=title, attributes=attributes)
+        return ast.ResourceBody(
+            title=title,
+            attributes=attributes,
+            line=start.line,
+            col=start.column,
+        )
 
     def _parse_attribute_list(self) -> Tuple[ast.AttributeDef, ...]:
         attrs: List[ast.AttributeDef] = []
@@ -332,7 +348,8 @@ class Parser:
             attrs = self._parse_attribute_list()
             self._expect(T.RBRACE)
             return ast.ResourceDefault(
-                line=typeref.line, rtype=rtype, attributes=attrs
+                line=typeref.line, col=typeref.column, rtype=rtype,
+                attributes=attrs
             )
 
         # Otherwise: reference or collector, possibly chained.
@@ -344,7 +361,8 @@ class Parser:
             attrs = self._parse_attribute_list()
             self._expect(T.RBRACE)
             return ast.ResourceOverride(
-                line=typeref.line, ref=first, attributes=attrs
+                line=typeref.line, col=typeref.column, ref=first,
+                attributes=attrs
             )
         operands: List[ast.ChainOperand] = [first]
         arrows: List[str] = []
@@ -367,7 +385,8 @@ class Parser:
                 "dangling resource reference (expected ->, ~>, or { ... })"
             )
         return ast.ChainStatement(
-            line=typeref.line, operands=tuple(operands), arrows=tuple(arrows)
+            line=typeref.line, col=typeref.column,
+            operands=tuple(operands), arrows=tuple(arrows)
         )
 
     def _parse_chain_operand(self) -> ast.ChainOperand:
@@ -381,10 +400,12 @@ class Parser:
             self._expect(T.RBRACK)
             return ast.ResourceRefExpr(rtype, tuple(titles))
         if self._at(T.COLLECT_OPEN):
-            return self._parse_collector(rtype, tok.line)
+            return self._parse_collector(rtype, tok.line, tok.column)
         raise self._error("expected '[' or '<|' after type reference")
 
-    def _parse_collector(self, rtype: str, line: int) -> ast.Collector:
+    def _parse_collector(
+        self, rtype: str, line: int, col: int = 0
+    ) -> ast.Collector:
         self._expect(T.COLLECT_OPEN)
         query = None
         if not self._at(T.COLLECT_CLOSE):
@@ -396,7 +417,7 @@ class Parser:
             overrides = self._parse_attribute_list()
             self._expect(T.RBRACE)
         return ast.Collector(
-            line=line, rtype=rtype, query=query, overrides=overrides
+            line=line, col=col, rtype=rtype, query=query, overrides=overrides
         )
 
     def _parse_collector_query(self) -> ast.CollectorQuery:

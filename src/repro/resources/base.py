@@ -38,6 +38,10 @@ class Resource:
     attributes: Dict[str, Any] = field(default_factory=dict)
     virtual: bool = False
     exported: bool = False
+    # Source span of the declaring manifest text (1-based; 0 = unknown).
+    # Excluded from equality so span threading never changes verdicts.
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
 
     def __post_init__(self):
         self.rtype = self.rtype.lower()

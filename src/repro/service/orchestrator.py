@@ -102,6 +102,22 @@ def _verify_one(job: _Job) -> dict:
         result = ManifestResult.from_report(
             report, sha256=job.sha256, cache_key=job.key
         )
+        try:
+            from repro.analysis.lint import LintOptions, lint_source
+
+            result.lint = lint_source(
+                job.source,
+                name=job.name,
+                options=LintOptions(),
+                context=context,
+                node_name=job.node_name,
+            ).to_dict()
+        except KeyboardInterrupt:
+            raise
+        except BaseException:
+            # Lint is advisory in a batch row: a linter crash must
+            # never cost the verification verdict.
+            result.lint = None
     except KeyboardInterrupt:
         raise
     except BaseException as exc:

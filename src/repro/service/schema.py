@@ -17,11 +17,13 @@ from repro.core.pipeline import VerificationReport
 
 #: Version 2: verdict rows grew the exploration statistics
 #: (``branches_explored``, ``memo_hits``, ``states_merged``,
-#: ``distinct_finals``).  The version participates in the verdict
-#: cache key (:func:`repro.service.cache.cache_key`), so entries
-#: written under an older schema rotate out instead of deserializing
-#: incompletely.
-SCHEMA_VERSION = 2
+#: ``distinct_finals``).  Version 3: rows grew the per-manifest
+#: ``lint`` block (the static analyzer's verdict, rule counts and
+#: diagnostics — see :mod:`repro.analysis.lint`).  The version
+#: participates in the verdict cache key
+#: (:func:`repro.service.cache.cache_key`), so entries written under
+#: an older schema rotate out instead of deserializing incompletely.
+SCHEMA_VERSION = 3
 
 #: ``ManifestResult.status`` values.
 STATUS_OK = "ok"  # verified: deterministic and idempotent
@@ -55,6 +57,11 @@ class ManifestResult:
     memo_hits: int = 0
     states_merged: int = 0
     distinct_finals: int = 0
+    #: The static analyzer's verdict for this manifest (schema v3):
+    #: the ``LintReport.to_dict()`` shape — ``clean``, ``exit_code``,
+    #: severity ``counts``, ``diagnostics`` and ``stats``.  ``None``
+    #: when linting itself crashed (never blocks the verification row).
+    lint: Optional[dict] = None
     sha256: str = ""
     cache_key: str = ""
     cached: bool = False

@@ -27,6 +27,20 @@ disagreement:
 ``pipeline_error``
     the pipeline failed outright on a generated (well-formed) case.
 
+With ``lint=True`` the same case also runs through the static
+analyzer's graph-stage rules (:func:`repro.analysis.lint.lint_graph`)
+and its verdict is cross-examined against the oracle:
+
+``lint_false_race``
+    lint reported a *definite* race (REH005 — which by construction
+    carries a concrete two-order divergence witness) but the oracle,
+    fed that very witness state, finds the case deterministic — a
+    lint soundness bug, failing;
+``lint missed definite races``
+    the oracle exhibits a divergence lint did not flag as REH005 —
+    expected (lint's confirmation budget is bounded), *counted* in the
+    summary but never a failure.
+
 Budget blow-ups and oracle abstentions are *skips*, never
 disagreements.  ``FuzzSession`` drives a whole seeded run: a
 deterministic case quota derived from the time budget, differential
@@ -85,6 +99,18 @@ class CaseOutcome:
     oracle_skip_reason: Optional[str] = None
     oracle_racing: List[Tuple[str, str]] = field(default_factory=list)
     disagreements: List[Disagreement] = field(default_factory=list)
+    #: Set when the case also ran through the static analyzer
+    #: (``run_source(..., lint=True)``).
+    lint_ran: bool = False
+    #: Pairs lint confirmed as definite races (REH005).
+    lint_definite_pairs: List[Tuple[str, str]] = field(
+        default_factory=list
+    )
+    #: Race candidates lint saw (footprint conflicts, REH005+REH006).
+    lint_candidates: int = 0
+    #: Oracle found a divergence lint did not flag REH005 — counted,
+    #: never failing (lint's confirmation budget is bounded).
+    lint_missed_definite_race: bool = False
 
     @property
     def agreed(self) -> bool:
@@ -115,6 +141,19 @@ class CaseOutcome:
             "disagreements": [
                 d.to_dict() for d in self.disagreements
             ],
+            "lint": (
+                {
+                    "definite_pairs": [
+                        list(pair) for pair in self.lint_definite_pairs
+                    ],
+                    "candidates": self.lint_candidates,
+                    "missed_definite_race": (
+                        self.lint_missed_definite_race
+                    ),
+                }
+                if self.lint_ran
+                else None
+            ),
         }
 
 
@@ -126,6 +165,7 @@ def run_source(
     oracle_seed: int = 0,
     oracle_max_states: int = 24,
     oracle_max_evaluations: int = 50_000,
+    lint: bool = False,
 ) -> CaseOutcome:
     """Differential-check one manifest source; see module docstring."""
     outcome = CaseOutcome(name=name)
@@ -176,6 +216,23 @@ def run_source(
                     )
                 )
 
+    lint_report = None
+    if lint:
+        from repro.analysis.lint import lint_graph
+
+        lint_report = lint_graph(graph, programs, name=name)
+        outcome.lint_ran = True
+        outcome.lint_definite_pairs = [
+            tuple(pair) for pair in lint_report.definite_race_pairs()
+        ]
+        outcome.lint_candidates = lint_report.stats.race_candidates
+        # Feed every lint divergence witness to the oracle: if lint's
+        # "definite" race is bogus, the oracle must still come back
+        # deterministic even when handed lint's own initial state.
+        witness_states.extend(
+            w.initial for w in lint_report.race_witnesses
+        )
+
     oracle = run_oracle(
         graph,
         programs,
@@ -192,6 +249,22 @@ def run_source(
 
     if oracle.skipped:
         return outcome
+
+    if lint_report is not None:
+        if outcome.lint_definite_pairs and oracle.deterministic is True:
+            outcome.disagreements.append(
+                Disagreement(
+                    kind="lint_false_race",
+                    detail=(
+                        "lint flagged definite races "
+                        f"{outcome.lint_definite_pairs} but the oracle "
+                        "(fed lint's own divergence witnesses) finds "
+                        "the case deterministic"
+                    ),
+                )
+            )
+        if oracle.deterministic is False and not outcome.lint_definite_pairs:
+            outcome.lint_missed_definite_race = True
 
     if report.deterministic is True and oracle.deterministic is False:
         div = oracle.divergence
@@ -370,6 +443,11 @@ class FuzzSummary:
     verdict_counts: Dict[str, int] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
     elapsed_seconds: float = 0.0  # excluded from the JSON summary
+    #: Lint cross-examination tallies (``--lint`` runs only).
+    lint_enabled: bool = False
+    lint_definite_races: int = 0  # cases with ≥1 REH005
+    lint_false_races: int = 0  # failing: oracle refuted a REH005
+    lint_missed_definite_races: int = 0  # counted, never failing
 
     @property
     def disagreement_count(self) -> int:
@@ -378,9 +456,10 @@ class FuzzSummary:
     def to_json(self) -> str:
         """The byte-reproducible run summary: everything here is a
         pure function of (seed, quota, code version) — no wall-clock
-        data except the ``truncated`` safety flag."""
+        data except the ``truncated`` safety flag.  Schema 2 added the
+        ``lint`` block."""
         payload = {
-            "schema": 1,
+            "schema": 2,
             "tool_version": __version__,
             "generator_version": GENERATOR_VERSION,
             "seed": self.seed,
@@ -390,6 +469,12 @@ class FuzzSummary:
             "verdict_counts": dict(sorted(self.verdict_counts.items())),
             "disagreement_count": self.disagreement_count,
             "findings": [f.to_dict() for f in self.findings],
+            "lint": {
+                "enabled": self.lint_enabled,
+                "definite_races": self.lint_definite_races,
+                "false_races": self.lint_false_races,
+                "missed_definite_races": self.lint_missed_definite_races,
+            },
         }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -406,6 +491,7 @@ class FuzzSession:
         generator_config: Optional[GeneratorConfig] = None,
         options: Optional[DeterminismOptions] = None,
         progress=None,
+        lint: bool = False,
     ):
         self.seed = seed
         self.budget_seconds = budget_seconds
@@ -418,11 +504,16 @@ class FuzzSession:
         self.generator = CaseGenerator(seed, generator_config)
         self.options = options
         self.progress = progress or (lambda message: None)
+        self.lint = lint
 
     def run(self) -> FuzzSummary:
         from repro.testing.shrink import shrink_case
 
-        summary = FuzzSummary(seed=self.seed, case_quota=self.quota)
+        summary = FuzzSummary(
+            seed=self.seed,
+            case_quota=self.quota,
+            lint_enabled=self.lint,
+        )
         start = time.monotonic()
         deadline = start + self.budget_seconds
         for case_id in range(self.quota):
@@ -440,6 +531,16 @@ class FuzzSession:
             summary.verdict_counts[key] = (
                 summary.verdict_counts.get(key, 0) + 1
             )
+            if outcome.lint_ran:
+                if outcome.lint_definite_pairs:
+                    summary.lint_definite_races += 1
+                if outcome.lint_missed_definite_race:
+                    summary.lint_missed_definite_races += 1
+                if any(
+                    d.kind == "lint_false_race"
+                    for d in outcome.disagreements
+                ):
+                    summary.lint_false_races += 1
             if outcome.agreed:
                 continue
             self.progress(
@@ -468,6 +569,7 @@ class FuzzSession:
             name=case.name,
             options=self.options,
             oracle_seed=case.case_seed,
+            lint=self.lint,
         )
 
     def _same_kinds(self, original: CaseOutcome):

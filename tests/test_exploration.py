@@ -367,9 +367,10 @@ file { '/etc/app.conf2': content => 'b' }
         assert restored == row
 
     def test_schema_version_bumped_for_exploration_fields(self):
+        # v2 added the exploration stats; v3 added the lint block.
         from repro.service.schema import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
 
     def test_cache_key_rotates_with_schema_version(self, monkeypatch):
         import repro.service.cache as cache_mod

@@ -258,3 +258,86 @@ class TestFuzzCli:
             cli.main(["fuzz", "--cases", "1", "--out", str(blocked)])
             == 2
         )
+
+
+class TestLintCrossExamination:
+    """``--lint``: the static analyzer runs on every case and its
+    definite races (REH005) are checked against the oracle — which is
+    fed lint's own divergence witnesses, so a bogus witness cannot
+    hide in an unsampled state."""
+
+    def test_run_source_records_lint_verdicts(self):
+        outcome = run_source(NONDET, name="nondet", lint=True)
+        assert outcome.lint_ran
+        assert outcome.lint_definite_pairs == [
+            ("File['/etc/app.conf']", "File['dup']")
+        ]
+        assert not outcome.lint_missed_definite_race
+        assert outcome.agreed, outcome.kinds()
+        assert outcome.to_dict()["lint"]["definite_pairs"]
+
+    def test_lint_off_by_default(self):
+        outcome = run_source(NONDET, name="nondet")
+        assert not outcome.lint_ran
+        assert outcome.to_dict()["lint"] is None
+
+    def test_seeded_session_has_no_false_races(self):
+        summary = FuzzSession(seed=7, cases=40, lint=True).run()
+        assert summary.lint_enabled
+        assert summary.lint_false_races == 0
+        assert summary.lint_definite_races > 0
+        payload = json.loads(summary.to_json())
+        assert payload["schema"] == 2
+        assert payload["lint"]["enabled"] is True
+        assert payload["lint"]["false_races"] == 0
+
+    def test_false_race_is_a_failing_disagreement(self):
+        """Sabotage drill: force lint to claim a definite race on a
+        deterministic case and the session must go red."""
+        from repro.analysis.lint import LintReport
+        from repro.testing import differential
+
+        real_lint_graph = None
+
+        def sabotaged(graph, programs, name="<graph>", options=None):
+            report = real_lint_graph(graph, programs, name, options)
+            if not report.definite_race_pairs():
+                nodes = sorted(map(str, graph.nodes))[:2]
+                if len(nodes) == 2:
+                    from repro.analysis.lint import RaceWitness
+                    from repro.fs.filesystem import FileSystem
+
+                    report.race_witnesses.append(
+                        RaceWitness(
+                            a=nodes[0],
+                            b=nodes[1],
+                            initial=FileSystem.empty(),
+                            order_a=tuple(nodes),
+                            order_b=tuple(reversed(nodes)),
+                            outcome_a="forged-one",
+                            outcome_b="forged-two",
+                        )
+                    )
+            return report
+
+        import repro.analysis.lint as lint_pkg
+
+        real_lint_graph = lint_pkg.lint_graph
+        with mock.patch.object(lint_pkg, "lint_graph", sabotaged):
+            outcome = run_source(DET, name="det", lint=True)
+        assert any(
+            d.kind == "lint_false_race" for d in outcome.disagreements
+        )
+        assert not outcome.agreed
+
+    def test_cli_lint_flag_reports_and_stays_green(self, capsys):
+        assert (
+            cli.main(
+                ["fuzz", "--seed", "42", "--cases", "25", "--lint",
+                 "--quiet"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "false race(s)" in out
+        assert "0 false race(s)" in out

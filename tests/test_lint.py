@@ -1,0 +1,348 @@
+"""Unit tests for the SAT-free static analyzer (``repro.analysis.lint``).
+
+Covers the rule registry, per-rule emission, severity semantics
+(including the REH006 demotion contract), the escalation guard, rule
+disabling, the ``lint_prefilter`` fast path, the per-manifest lint row
+in batch reports, and the ``rehearsal lint`` CLI exit-code contract.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.determinism import DeterminismOptions
+from repro.analysis.lint import (
+    Diagnostic,
+    LintContext,
+    LintOptions,
+    LintReport,
+    RULES,
+    Severity,
+    lint_graph,
+    lint_source,
+)
+from repro.analysis.lint.engine import Rule, register_rule
+from repro.core.cli import main as cli_main
+from repro.core.pipeline import Rehearsal
+from repro.corpus import load_source
+from repro.fs.paths import Path as FsPath
+
+# Hand-sized manifests exercising one rule each.
+PARSE_ERROR = "file { bad"
+DUPLICATE_DECL = (
+    'file {"/etc/a.conf": content => "x" }\n'
+    'file {"/etc/a.conf": content => "y" }'
+)
+MODEL_ERROR = 'file {"/etc/a.conf": ensure => "banana" }'
+DUPLICATE_PATH = (
+    'file {"one": path => "/etc/a.conf", content => "x" }\n'
+    'file {"two": path => "/etc/a.conf", content => "y" }'
+)
+DEFINITE_RACE = (
+    'file {"/etc/apache2/sites-available/default.conf": content => "z" }\n'
+    'package {"apache2": ensure => present }'
+)
+DANGLING = 'file {"/etc/a.conf": content => "x", require => Package["nope"] }'
+CYCLE = (
+    'file {"/a": content => "x", require => File["/b"] }\n'
+    'file {"/b": content => "y", require => File["/a"] }'
+)
+MISSING_PARENT = 'file {"/opt/deep/nested/file.conf": content => "x" }'
+PROTECTED = 'file {"/etc/passwd": content => "pwned" }'
+CLEAN = (
+    'file {"/app": ensure => directory }\n'
+    'file {"/app/a.conf": content => "x", require => File["/app"] }'
+)
+
+
+def rules_of(report: LintReport):
+    return sorted({d.rule_id for d in report.diagnostics})
+
+
+class TestRegistry:
+    def test_catalogue_is_complete_and_stable(self):
+        assert sorted(RULES) == [f"REH{n:03d}" for n in range(1, 12)]
+
+    def test_severities(self):
+        expected = {
+            "REH001": Severity.ERROR,
+            "REH002": Severity.ERROR,
+            "REH003": Severity.ERROR,
+            "REH004": Severity.ERROR,
+            "REH005": Severity.ERROR,
+            "REH006": Severity.WARNING,
+            "REH007": Severity.ERROR,
+            "REH008": Severity.ERROR,
+            "REH009": Severity.NOTE,
+            "REH010": Severity.WARNING,
+            "REH011": Severity.WARNING,
+        }
+        assert {rid: r.severity for rid, r in RULES.items()} == expected
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_rule(
+                Rule(
+                    id="REH001",
+                    name="clone",
+                    severity=Severity.NOTE,
+                    summary="dup",
+                    description="dup",
+                )
+            )
+
+    def test_severity_ordering_and_rendering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+        assert str(Severity.ERROR) == "error"
+        assert Severity.NOTE.sarif_level == "note"
+        assert Severity.WARNING.sarif_level == "warning"
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "source,rule_id",
+        [
+            (PARSE_ERROR, "REH001"),
+            (DUPLICATE_DECL, "REH002"),
+            (MODEL_ERROR, "REH003"),
+            (DUPLICATE_PATH, "REH004"),
+            (DEFINITE_RACE, "REH005"),
+            (DANGLING, "REH007"),
+            (CYCLE, "REH008"),
+        ],
+        ids=lambda v: v if isinstance(v, str) and v.startswith("REH") else "",
+    )
+    def test_error_rules_fire_and_exit_2(self, source, rule_id):
+        report = lint_source(source, name="case.pp")
+        assert rule_id in rules_of(report)
+        assert report.max_severity == Severity.ERROR
+        assert report.exit_code == 2
+        assert not report.clean
+
+    def test_missing_parent_is_a_note_and_clean(self):
+        report = lint_source(MISSING_PARENT, name="parent.pp")
+        assert rules_of(report) == ["REH009"]
+        assert report.clean
+        assert report.exit_code == 0
+
+    def test_protected_write_needs_optin(self):
+        quiet = lint_source(PROTECTED, name="prot.pp")
+        assert "REH010" not in rules_of(quiet)
+        report = lint_source(
+            PROTECTED,
+            name="prot.pp",
+            options=LintOptions(protected=(FsPath.of("/etc/passwd"),)),
+        )
+        assert "REH010" in rules_of(report)
+        assert report.exit_code == 1  # warning, not error
+
+    def test_non_idempotent_program_flagged(self):
+        # The resource model compiles to guarded (idempotent) programs,
+        # so REH011 is exercised at the graph layer with a bare
+        # unguarded creat: applying it twice errors (path exists).
+        import networkx as nx
+
+        from repro.fs import syntax as fx
+
+        graph = nx.DiGraph()
+        graph.add_node("raw")
+        programs = {"raw": fx.Creat(FsPath.of("/x"), "c")}
+        report = lint_graph(graph, programs, name="raw.pp")
+        assert "REH011" in rules_of(report)
+
+    def test_clean_manifest_is_clean(self):
+        report = lint_source(CLEAN, name="clean.pp")
+        assert report.diagnostics == []
+        assert report.clean and report.exit_code == 0
+
+    def test_definite_race_records_witness_and_pair(self):
+        report = lint_source(DEFINITE_RACE, name="race.pp")
+        assert len(report.race_witnesses) == 1
+        witness = report.race_witnesses[0]
+        assert witness.outcome_a != witness.outcome_b
+        pairs = report.definite_race_pairs()
+        assert len(pairs) == 1
+        assert sorted(pairs[0]) == list(pairs[0])
+
+    def test_spans_point_at_declarations(self):
+        report = lint_source(DUPLICATE_PATH, name="dup.pp")
+        dup = next(d for d in report.diagnostics if d.rule_id == "REH004")
+        assert (dup.line, dup.col) == (2, 7)  # the later claimant
+        assert dup.related and dup.related[0].line == 1
+
+
+class TestDemotion:
+    """REH006 candidates surviving a complete confirmation sweep are
+    notes, not warnings — 'clean' means no *actionable* diagnostics."""
+
+    def test_surviving_candidates_demote_to_note(self):
+        report = lint_source(load_source("irc-fixed"), name="irc-fixed.pp")
+        sixes = [d for d in report.diagnostics if d.rule_id == "REH006"]
+        assert sixes, "irc-fixed has non-commuting but benign pairs"
+        assert all(d.severity == Severity.NOTE for d in sixes)
+        assert report.clean and report.exit_code == 0
+
+    def test_without_confirmation_they_stay_warnings(self):
+        report = lint_source(
+            load_source("irc-fixed"),
+            name="irc-fixed.pp",
+            options=LintOptions(confirm_races=False),
+        )
+        sixes = [d for d in report.diagnostics if d.rule_id == "REH006"]
+        assert sixes
+        assert all(d.severity == Severity.WARNING for d in sixes)
+        assert report.exit_code == 1
+
+    def test_escalation_above_rule_severity_rejected(self):
+        ctx = LintContext(
+            name="x.pp",
+            options=LintOptions(),
+            report=LintReport(name="x.pp"),
+        )
+        with pytest.raises(ValueError):
+            ctx.diag(
+                "REH009",  # a NOTE rule
+                "boom",
+                severity=Severity.ERROR,
+            )
+
+
+class TestDisabling:
+    def test_disabled_rules_do_not_fire(self):
+        report = lint_source(
+            MISSING_PARENT,
+            name="parent.pp",
+            options=LintOptions(disabled=("REH009",)),
+        )
+        assert report.diagnostics == []
+
+    def test_other_rules_unaffected(self):
+        report = lint_source(
+            DEFINITE_RACE,
+            name="race.pp",
+            options=LintOptions(disabled=("REH009",)),
+        )
+        assert "REH005" in rules_of(report)
+
+
+class TestReportShape:
+    def test_render_mentions_the_sat_free_contract(self):
+        report = lint_source(CLEAN, name="clean.pp")
+        assert "0 SAT queries" in report.render()
+
+    def test_diagnostic_render_format(self):
+        diag = Diagnostic(
+            rule_id="REH005",
+            rule_name="definite-race",
+            severity=Severity.ERROR,
+            message="boom",
+            file="m.pp",
+            line=3,
+            col=7,
+        )
+        assert diag.render() == "m.pp:3:7: error REH005 [definite-race] boom"
+
+    def test_to_dict_round_trips_to_json(self):
+        report = lint_source(DEFINITE_RACE, name="race.pp")
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["name"] == "race.pp"
+        assert data["clean"] is False
+        assert data["exit_code"] == 2
+        assert data["counts"]["error"] >= 1
+        assert data["stats"]["races_confirmed"] >= 1
+        assert all(
+            {"rule_id", "severity", "line", "col"} <= set(d)
+            for d in data["diagnostics"]
+        )
+
+
+class TestPrefilter:
+    """``DeterminismOptions.lint_prefilter``: when every unordered pair
+    commutes the determinism verdict is proved without symbolic
+    exploration or SAT — and verdicts never change either way."""
+
+    def test_proves_deterministic_corpus_without_sat(self):
+        tool = Rehearsal(options=DeterminismOptions(lint_prefilter=True))
+        report = tool.verify(load_source("amavis"), name="amavis")
+        det = report.determinism
+        assert det.deterministic is True
+        assert det.stats.prefilter_proved
+        assert det.stats.sat_queries == 0
+        assert det.stats.branches_explored == 0
+
+    def test_does_not_change_nondet_verdicts(self):
+        source = load_source("ntp-nondet")
+        plain = Rehearsal().verify(source, name="ntp")
+        fast = Rehearsal(
+            options=DeterminismOptions(lint_prefilter=True)
+        ).verify(source, name="ntp")
+        assert plain.deterministic is False
+        assert fast.deterministic is False
+        assert not fast.determinism.stats.prefilter_proved
+
+    def test_off_by_default(self):
+        report = Rehearsal().verify(load_source("amavis"), name="amavis")
+        assert not report.determinism.stats.prefilter_proved
+
+
+class TestBatchLintRow:
+    def test_verify_batch_rows_carry_lint_verdicts(self, tmp_path):
+        (tmp_path / "clean.pp").write_text(CLEAN)
+        (tmp_path / "race.pp").write_text(DEFINITE_RACE)
+        out = tmp_path / "report.json"
+        cli_main(
+            [
+                "verify-batch",
+                str(tmp_path),
+                "--no-cache",
+                "--json",
+                str(out),
+            ]
+        )
+        data = json.loads(out.read_text())
+        assert data["schema_version"] == 3
+        rows = {r["name"].rsplit("/", 1)[-1]: r for r in data["results"]}
+        assert rows["clean.pp"]["lint"]["clean"] is True
+        assert rows["race.pp"]["lint"]["clean"] is False
+        assert any(
+            d["rule_id"] == "REH005"
+            for d in rows["race.pp"]["lint"]["diagnostics"]
+        )
+
+
+class TestCli:
+    def lint(self, *argv):
+        return cli_main(["lint", *map(str, argv)])
+
+    def test_exit_0_on_clean(self, tmp_path, capsys):
+        path = tmp_path / "clean.pp"
+        path.write_text(CLEAN)
+        assert self.lint(path) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_1_on_warnings(self, tmp_path):
+        path = tmp_path / "prot.pp"
+        path.write_text(PROTECTED)
+        assert self.lint(path, "--protect", "/etc/passwd") == 1
+
+    def test_exit_2_on_errors(self, tmp_path, capsys):
+        path = tmp_path / "race.pp"
+        path.write_text(DEFINITE_RACE)
+        assert self.lint(path) == 2
+        assert "REH005" in capsys.readouterr().out
+
+    def test_exit_3_on_bad_invocation(self, tmp_path):
+        assert self.lint(tmp_path / "missing.pp") == 3
+
+    def test_json_format(self, tmp_path, capsys):
+        path = tmp_path / "race.pp"
+        path.write_text(DEFINITE_RACE)
+        assert self.lint(path, "--format", "json") == 2
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+        assert [m["name"] for m in data["manifests"]] == [str(path)]
+
+    def test_disable_flag(self, tmp_path):
+        path = tmp_path / "parent.pp"
+        path.write_text(MISSING_PARENT)
+        assert self.lint(path, "--disable", "REH009") == 0

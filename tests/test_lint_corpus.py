@@ -1,0 +1,113 @@
+"""Pin the static analyzer's verdict on the full §6 corpus.
+
+The six nondeterministic benchmarks must each be flagged with a
+REH005 definite race at the right declaration span (lint's headline
+claim: the paper's bug class, found without SAT); their six fixed
+variants — and the seven deterministic benchmarks — must lint clean
+(exit 0).
+"""
+
+import pytest
+
+from repro.analysis.lint import Severity, lint_source
+from repro.corpus import BENCHMARK_NAMES, FIXED_VARIANTS, load_source
+
+NONDET = [n for n in BENCHMARK_NAMES if n.endswith("-nondet")]
+DETERMINISTIC = [n for n in BENCHMARK_NAMES if not n.endswith("-nondet")]
+FIXED = sorted(FIXED_VARIANTS)
+
+#: name -> (REH005 span, REH005 resource, contended paths).  The span
+#: points at the *primary* racing declaration in the shipped manifest;
+#: editing a corpus manifest must update this table consciously.
+EXPECTED_RACES = {
+    "dns-nondet": ((14, 13), "Package['dnsmasq']", ("/etc/dnsmasq.d",)),
+    "irc-nondet": ((12, 13), "Package['ngircd']", ("/etc",)),
+    "logstash-nondet": (
+        (11, 13),
+        "Package['logstash']",
+        ("/etc/logstash/conf.d",),
+    ),
+    "ntp-nondet": ((13, 13), "Package['ntp']", ("/etc", "/etc/ntp.conf")),
+    "rsyslog-nondet": ((12, 13), "Package['rsyslog']", ("/etc/rsyslog.d",)),
+    "xinetd-nondet": (
+        (13, 13),
+        "Package['xinetd']",
+        ("/etc", "/etc/xinetd.conf"),
+    ),
+}
+
+
+def lint(name):
+    return lint_source(load_source(name), name=f"{name}.pp")
+
+
+class TestNondeterministicBenchmarks:
+    @pytest.mark.parametrize("name", NONDET)
+    def test_flagged_with_definite_race(self, name):
+        report = lint(name)
+        assert not report.clean
+        assert report.exit_code == 2
+        races = [d for d in report.diagnostics if d.rule_id == "REH005"]
+        assert races, f"{name}: lint must find the seeded race"
+        assert all(d.severity == Severity.ERROR for d in races)
+
+    @pytest.mark.parametrize("name", NONDET)
+    def test_race_span_and_paths_pinned(self, name):
+        report = lint(name)
+        span, resource, paths = EXPECTED_RACES[name]
+        race = next(d for d in report.diagnostics if d.rule_id == "REH005")
+        assert (race.line, race.col) == span
+        assert race.resource == resource
+        assert tuple(race.paths) == paths
+        assert race.file == f"{name}.pp"
+        # The diagnostic names the other end of the race too.
+        assert race.related
+
+    @pytest.mark.parametrize("name", NONDET)
+    def test_witness_is_self_validating(self, name):
+        """Every REH005 carries a concrete divergence witness: two
+        complete orders whose outcomes differ on a real initial
+        state.  Zero false positives by construction."""
+        report = lint(name)
+        assert report.race_witnesses
+        for w in report.race_witnesses:
+            assert w.outcome_a != w.outcome_b
+            assert w.order_a != w.order_b
+            assert sorted(w.order_a) == sorted(w.order_b)
+
+
+class TestCleanManifests:
+    @pytest.mark.parametrize("name", FIXED)
+    def test_fixed_variants_lint_clean(self, name):
+        report = lint(name)
+        assert report.clean, (
+            f"{name}: fixed variant must lint clean, got "
+            f"{[d.render() for d in report.diagnostics]}"
+        )
+        assert report.exit_code == 0
+        assert not any(
+            d.rule_id == "REH005" for d in report.diagnostics
+        )
+
+    @pytest.mark.parametrize("name", DETERMINISTIC)
+    def test_deterministic_benchmarks_lint_clean(self, name):
+        report = lint(name)
+        assert report.clean, (
+            f"{name}: deterministic benchmark must lint clean, got "
+            f"{[d.render() for d in report.diagnostics]}"
+        )
+        assert report.exit_code == 0
+
+
+class TestNoSat:
+    @pytest.mark.parametrize("name", NONDET + FIXED)
+    def test_lint_never_touches_the_solver(self, name, monkeypatch):
+        """The analyzer is SAT-free by contract: constructing a solver
+        during lint is a hard failure."""
+        import repro.sat.solver as solver_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("lint must not construct a SAT solver")
+
+        monkeypatch.setattr(solver_mod.Solver, "__init__", boom)
+        lint(name)

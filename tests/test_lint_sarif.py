@@ -1,0 +1,127 @@
+"""SARIF 2.1.0 output: golden file, schema validation, region rules.
+
+The golden file pins the exact bytes of a representative report (so
+accidental format churn is visible in review); the schema test
+validates everything lint can emit against a vendored subset of the
+official SARIF 2.1.0 schema (the CI container has no network access —
+see ``tests/data/sarif-2.1.0-subset.schema.json`` for what the subset
+keeps).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LintOptions,
+    lint_source,
+    render_sarif,
+    to_sarif,
+)
+from repro.corpus import BENCHMARK_NAMES, FIXED_VARIANTS, load_source
+from repro.fs.paths import Path as FsPath
+
+DATA = Path(__file__).parent / "data"
+GOLDEN = DATA / "lint-golden.sarif"
+SUBSET_SCHEMA = DATA / "sarif-2.1.0-subset.schema.json"
+
+#: The manifest behind the golden file (the classic paper race).
+GOLDEN_SOURCE = (
+    'file {"/etc/apache2/sites-available/default.conf": content => "z" }\n'
+    'package {"apache2": ensure => present }'
+)
+
+
+def corpus_sarif():
+    """One SARIF log over the entire §6 corpus, warts and all."""
+    reports = [
+        lint_source(load_source(name), name=f"{name}.pp")
+        for name in BENCHMARK_NAMES + sorted(FIXED_VARIANTS)
+    ]
+    return to_sarif(reports)
+
+
+class TestGolden:
+    def test_golden_file_is_current(self):
+        report = lint_source(GOLDEN_SOURCE, name="golden.pp")
+        rendered = render_sarif(report, tool_version="0.0.0-test")
+        assert rendered == GOLDEN.read_text(encoding="utf8"), (
+            "SARIF output changed; if intentional, regenerate "
+            "tests/data/lint-golden.sarif (render_sarif with "
+            "tool_version='0.0.0-test')"
+        )
+
+    def test_golden_headline_fields(self):
+        data = json.loads(GOLDEN.read_text(encoding="utf8"))
+        assert data["version"] == "2.1.0"
+        assert data["$schema"].endswith("sarif-2.1.0.json")
+        run = data["runs"][0]
+        assert run["tool"]["driver"]["name"] == "rehearsal-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert any(r["ruleId"] == "REH005" for r in run["results"])
+
+    def test_rule_help_uris_point_at_the_docs(self):
+        data = json.loads(GOLDEN.read_text(encoding="utf8"))
+        for rule in data["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["helpUri"].endswith(
+                f"docs/lint.md#{rule['id'].lower()}"
+            )
+
+
+class TestSchema:
+    def test_corpus_log_validates_against_the_subset_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SUBSET_SCHEMA.read_text(encoding="utf8"))
+        jsonschema.validate(corpus_sarif(), schema)
+
+    def test_unparseable_and_protected_outputs_validate_too(self):
+        """Edge shapes: a line-0 diagnostic (no region allowed) and a
+        REH010 result with properties."""
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SUBSET_SCHEMA.read_text(encoding="utf8"))
+        reports = [
+            lint_source(
+                'file {"/etc/a.conf": content => "x" }\n'
+                'file {"/etc/a.conf": content => "y" }',
+                name="dup.pp",
+            ),
+            lint_source(
+                'file {"/etc/passwd": content => "pwned" }',
+                name="prot.pp",
+                options=LintOptions(
+                    protected=(FsPath.of("/etc/passwd"),)
+                ),
+            ),
+        ]
+        jsonschema.validate(to_sarif(reports), schema)
+
+
+class TestRegions:
+    def test_zero_line_results_omit_the_region(self):
+        """SARIF regions are 1-based; a diagnostic without a source
+        span (line 0) must drop the region rather than emit
+        startLine 0 (schema violation)."""
+        report = lint_source(
+            'file {"/etc/a.conf": content => "x" }\n'
+            'file {"/etc/a.conf": content => "y" }',
+            name="dup.pp",
+        )
+        assert any(d.line == 0 for d in report.diagnostics)
+        log = to_sarif(report)
+        for result in log["runs"][0]["results"]:
+            for loc in result.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                region = phys.get("region")
+                if region is not None:
+                    assert region["startLine"] >= 1
+
+    def test_results_carry_manifest_uri(self):
+        log = corpus_sarif()
+        uris = {
+            loc["physicalLocation"]["artifactLocation"]["uri"]
+            for result in log["runs"][0]["results"]
+            for loc in result["locations"]
+        }
+        assert "ntp-nondet.pp" in uris

@@ -126,3 +126,48 @@ class TestHeaderFormat:
         (tmp_path / "a.pp").write_text("x")
         (tmp_path / "ignore.txt").write_text("x")
         assert [p.name for p in discover(tmp_path)] == ["a.pp", "b.pp"]
+
+
+#: Reproducers whose nondeterminism the static analyzer is KNOWN to
+#: miss (no REH005 definite race).  The contract is one-way: this list
+#: may only shrink.  An entry that lint starts flagging fails the test
+#: below until it is removed; new reproducers that lint misses must be
+#: added here explicitly (with a comment on why) rather than silently
+#: weakening the analyzer.  Currently every committed reproducer is
+#: caught.
+KNOWN_LINT_GAPS: frozenset = frozenset()
+
+
+class TestLintCoverage:
+    """Every committed reproducer of a *nondeterminism* disagreement
+    should also be caught by the SAT-free analyzer — and the gap list
+    above can only shrink."""
+
+    def test_gap_list_names_real_reproducers(self):
+        stems = {p.stem for p in REGRESSIONS}
+        assert KNOWN_LINT_GAPS <= stems, (
+            f"stale gap entries: {sorted(KNOWN_LINT_GAPS - stems)}"
+        )
+
+    @pytest.mark.parametrize(
+        "path", REGRESSIONS, ids=[p.stem for p in REGRESSIONS]
+    )
+    def test_lint_finds_the_race_or_is_a_documented_gap(self, path):
+        from repro.analysis.lint import lint_source
+
+        text = path.read_text(encoding="utf8")
+        header = parse_header(text, path.name)
+        if header.expected_deterministic is not False:
+            pytest.skip("reproducer is not a nondeterminism witness")
+        report = lint_source(text, name=path.name)
+        found = bool(report.definite_race_pairs())
+        if path.stem in KNOWN_LINT_GAPS:
+            assert not found, (
+                f"{path.name}: lint now catches this race — remove it "
+                "from KNOWN_LINT_GAPS (the list may only shrink)"
+            )
+        else:
+            assert found, (
+                f"{path.name}: lint no longer finds the definite race "
+                "(regression: the analyzer got weaker)"
+            )
