@@ -18,50 +18,72 @@ Public API tour:
 * :mod:`repro.service` — batch verification: :class:`BatchVerifier` /
   :func:`verify_batch` fan a fleet of manifests out to worker
   processes behind a content-addressed :class:`VerdictCache`.
+* :mod:`repro.testing` — differential fuzzing and the test
+  orchestration layer (dependency-aware selection, SPRT burn-in,
+  results database — see docs/testing.md).
+
+The package init is **lazy** (PEP 562): importing ``repro`` binds only
+``__version__``; every re-exported name resolves on first attribute
+access via the ``_LAZY_EXPORTS`` table below.  This keeps ``import
+repro.testing.orchestrate.testmap`` from dragging in the whole solver
+stack, and — because the table is a static dict literal — lets the
+test-selection import scanner (:mod:`repro.testing.orchestrate.testmap`)
+resolve ``from repro import Rehearsal`` to its true defining module
+instead of marking every module as a dependency of everything.
 """
+
+from importlib import import_module
 
 # The service package reads repro.__version__ (it keys the verdict
 # cache), so the version must be bound before repro.service imports.
 # 1.3.0: race localization validates candidate pairs concretely on the
-# witness (race_pair/race_path in cached rows can change), and the
-# differential-fuzzing subsystem (repro.testing) ships.
+# witness; 1.4.0: the static analyzer (repro.analysis.lint) ships and
+# verify-batch rows gain a lint block.
 __version__ = "1.4.0"
 
-from repro.analysis.determinism import DeterminismOptions, DeterminismResult
-from repro.analysis.idempotence import IdempotenceResult
-from repro.core.pipeline import Rehearsal, VerificationReport
-from repro.errors import (
-    AnalysisBudgetExceeded,
-    DependencyCycleError,
-    PuppetEvalError,
-    PuppetSyntaxError,
-    ReproError,
-    ResourceModelError,
-)
-from repro.service import (
-    BatchReport,
-    BatchVerifier,
-    ManifestResult,
-    VerdictCache,
-    verify_batch,
-)
+#: name -> defining module.  A static literal on purpose: the import
+#: scanner behind `rehearsal testmap` parses this table to resolve
+#: ``from repro import X`` precisely (see docs/testing.md).
+_LAZY_EXPORTS = {
+    "AnalysisBudgetExceeded": "repro.errors",
+    "BatchReport": "repro.service",
+    "BatchVerifier": "repro.service",
+    "DependencyCycleError": "repro.errors",
+    "DeterminismOptions": "repro.analysis.determinism",
+    "DeterminismResult": "repro.analysis.determinism",
+    "IdempotenceResult": "repro.analysis.idempotence",
+    "ManifestResult": "repro.service",
+    "PuppetEvalError": "repro.errors",
+    "PuppetSyntaxError": "repro.errors",
+    "Rehearsal": "repro.core.pipeline",
+    "ReproError": "repro.errors",
+    "ResourceModelError": "repro.errors",
+    "VerdictCache": "repro.service",
+    "VerificationReport": "repro.core.pipeline",
+    "verify_batch": "repro.service",
+}
 
-__all__ = [
-    "AnalysisBudgetExceeded",
-    "BatchReport",
-    "BatchVerifier",
-    "DependencyCycleError",
-    "DeterminismOptions",
-    "DeterminismResult",
-    "IdempotenceResult",
-    "ManifestResult",
-    "PuppetEvalError",
-    "PuppetSyntaxError",
-    "Rehearsal",
-    "ReproError",
-    "ResourceModelError",
-    "VerdictCache",
-    "VerificationReport",
-    "verify_batch",
-    "__version__",
-]
+__all__ = [*sorted(_LAZY_EXPORTS), "__version__"]
+
+
+def __getattr__(name):
+    target = _LAZY_EXPORTS.get(name)
+    if target is not None:
+        return getattr(import_module(target), name)
+    # Fall back to submodule access, so `import repro; repro.corpus`
+    # works without an explicit import of the submodule.
+    qualified = f"{__name__}.{name}"
+    try:
+        return import_module(qualified)
+    except ModuleNotFoundError as exc:
+        # Only a *missing submodule* becomes AttributeError; a broken
+        # import inside a real submodule must surface unchanged.
+        if exc.name == qualified:
+            raise AttributeError(
+                f"module {__name__!r} has no attribute {name!r}"
+            ) from None
+        raise
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -9,55 +9,66 @@ The subsystem behind ``rehearsal fuzz`` (and the nightly CI fuzz job):
   classifies disagreements;
 * :mod:`repro.testing.shrink` — delta-debugging minimizer;
 * :mod:`repro.testing.regressions` — the committed-reproducer format
-  shared by ``tests/regressions/`` and ``tools/check_regressions.py``.
+  shared by ``tests/regressions/`` and ``tools/check_regressions.py``;
+* :mod:`repro.testing.replay` — single-reproducer replay through the
+  differential pipeline (``rehearsal fuzz --replay``, and the burn-in
+  executor);
+* :mod:`repro.testing.orchestrate` — fleet test orchestration:
+  dependency-aware selection, SPRT burn-in promotion, results database
+  and HTML/DAG reporting (see docs/testing.md).
+
+Like :mod:`repro` itself, this package init is lazy (PEP 562): the
+``_LAZY_EXPORTS`` table below is a static literal the test-selection
+import scanner resolves, so ``from repro.testing import run_oracle``
+depends on :mod:`repro.testing.oracle` alone — not on the shrinker,
+the generator, and everything they import.
 """
 
-from repro.testing.differential import (
-    CASES_PER_SECOND,
-    CaseOutcome,
-    Disagreement,
-    Finding,
-    FuzzSession,
-    FuzzSummary,
-    run_source,
-)
-from repro.testing.generate import (
-    BUG_CLASSES,
-    GENERATOR_VERSION,
-    CaseGenerator,
-    GeneratedCase,
-    GeneratorConfig,
-    ResourceSpec,
-)
-from repro.testing.oracle import (
-    MAX_ORACLE_RESOURCES,
-    OracleReport,
-    RacingPair,
-    initial_state_family,
-    racing_pairs,
-    run_oracle,
-)
-from repro.testing.shrink import shrink_case
+from importlib import import_module
 
-__all__ = [
-    "BUG_CLASSES",
-    "CASES_PER_SECOND",
-    "CaseGenerator",
-    "CaseOutcome",
-    "Disagreement",
-    "Finding",
-    "FuzzSession",
-    "FuzzSummary",
-    "GENERATOR_VERSION",
-    "GeneratedCase",
-    "GeneratorConfig",
-    "MAX_ORACLE_RESOURCES",
-    "OracleReport",
-    "RacingPair",
-    "ResourceSpec",
-    "initial_state_family",
-    "racing_pairs",
-    "run_oracle",
-    "run_source",
-    "shrink_case",
-]
+#: name -> defining module (parsed by the testmap import scanner).
+_LAZY_EXPORTS = {
+    "BUG_CLASSES": "repro.testing.generate",
+    "CASES_PER_SECOND": "repro.testing.differential",
+    "CaseGenerator": "repro.testing.generate",
+    "CaseOutcome": "repro.testing.differential",
+    "Disagreement": "repro.testing.differential",
+    "Finding": "repro.testing.differential",
+    "FuzzSession": "repro.testing.differential",
+    "FuzzSummary": "repro.testing.differential",
+    "GENERATOR_VERSION": "repro.testing.generate",
+    "GeneratedCase": "repro.testing.generate",
+    "GeneratorConfig": "repro.testing.generate",
+    "MAX_ORACLE_RESOURCES": "repro.testing.oracle",
+    "OracleReport": "repro.testing.oracle",
+    "RacingPair": "repro.testing.oracle",
+    "ReplayResult": "repro.testing.replay",
+    "ResourceSpec": "repro.testing.generate",
+    "initial_state_family": "repro.testing.oracle",
+    "racing_pairs": "repro.testing.oracle",
+    "replay_file": "repro.testing.replay",
+    "run_oracle": "repro.testing.oracle",
+    "run_source": "repro.testing.differential",
+    "shrink_case": "repro.testing.shrink",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name):
+    target = _LAZY_EXPORTS.get(name)
+    if target is not None:
+        return getattr(import_module(target), name)
+    qualified = f"{__name__}.{name}"
+    try:
+        return import_module(qualified)
+    except ModuleNotFoundError as exc:
+        if exc.name == qualified:
+            raise AttributeError(
+                f"module {__name__!r} has no attribute {name!r}"
+            ) from None
+        raise
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

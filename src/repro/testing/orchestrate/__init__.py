@@ -1,0 +1,30 @@
+"""Fleet test orchestration (see docs/testing.md).
+
+Three cooperating parts keep the tier-1 suite fast and the fuzz
+corpus trustworthy as both grow:
+
+* :mod:`repro.testing.orchestrate.testmap` — dependency-aware test
+  selection: a static import-graph scanner over ``src/`` and
+  ``tests/`` producing a persisted, content-hashed module→test map,
+  and a selector that turns a changed-file list into the minimal
+  pytest file list (with a conservative full-suite fallback on map
+  staleness, conftest edits, and unmapped files);
+* :mod:`repro.testing.orchestrate.sprt` /
+  :mod:`repro.testing.orchestrate.burnin` — sequential probability
+  ratio test burn-in that promotes quarantined fuzz reproducers to
+  pinned regressions (and demotes flaky ones with a flake-rate
+  estimate), writing machine-readable promotion records;
+* :mod:`repro.testing.orchestrate.resultsdb` /
+  :mod:`repro.testing.orchestrate.pytest_plugin` /
+  :mod:`repro.testing.orchestrate.report` — a SQLite per-test
+  results store written by a pytest hook, rendered by ``rehearsal
+  testreport`` into an HTML report with per-module duration trends
+  and an SVG DAG of the module→test dependency graph.
+
+This init deliberately imports nothing: orchestration modules are
+addressed directly (``from repro.testing.orchestrate import testmap``
+resolves via the submodule fallback of the lazy parent packages), so
+pulling in, say, the results database does not drag the burn-in
+executor — and with it the whole verification pipeline — into every
+pytest process.
+"""

@@ -1,0 +1,96 @@
+"""pytest hook that streams per-test results into the results DB.
+
+Activation is environment-gated: set ``REHEARSAL_RESULTS_DB`` to a
+database path and every recorded run appends to it; leave it unset
+(the default for local development) and the plugin does nothing and
+imports nothing heavy.  ``tests/conftest.py`` delegates its
+``pytest_configure`` here, so no pytest command-line flags are needed
+— CI just exports the variable.
+
+* ``REHEARSAL_RESULTS_DB`` — path of the SQLite database to append to.
+* ``REHEARSAL_RUN_ID`` — optional run id; defaults to a
+  timestamp+pid id.  Parallel workers (pytest-xdist sets
+  ``PYTEST_XDIST_WORKER``) inherit the controller's id from the
+  environment and skip the run bookkeeping rows, so all workers'
+  results land under one run.
+
+Seeds: tests that call ``record_property("seed", ...)`` (the fuzz and
+Hypothesis suites do) get the seed persisted next to their outcome,
+which is what lets ``rehearsal testreport`` print "this nodeid failed
+under seed S" without scraping logs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+ENV_DB = "REHEARSAL_RESULTS_DB"
+ENV_RUN_ID = "REHEARSAL_RUN_ID"
+_XDIST_WORKER = "PYTEST_XDIST_WORKER"
+
+
+class ResultsRecorder:
+    """The registered plugin object; one per pytest process."""
+
+    def __init__(self, db_path: str, run_id: Optional[str] = None):
+        from repro.testing.orchestrate.resultsdb import (
+            ResultsDB,
+            default_run_id,
+        )
+
+        self.db = ResultsDB(db_path)
+        self.run_id = run_id or os.environ.get(ENV_RUN_ID) or default_run_id()
+        self.is_worker = _XDIST_WORKER in os.environ
+        if not self.is_worker:
+            self.db.begin_run(self.run_id, argv=list(os.sys.argv))
+
+    def pytest_runtest_logreport(self, report):
+        from repro.testing.orchestrate.resultsdb import TestResult
+
+        # One row per test: the call phase, or a setup phase that did
+        # not reach call (skips and setup errors).
+        if report.when != "call" and not (
+            report.when == "setup" and (report.skipped or report.failed)
+        ):
+            return
+        seed = None
+        for key, value in getattr(report, "user_properties", ()) or ():
+            if key == "seed":
+                seed = str(value)
+                break
+        self.db.record(
+            self.run_id,
+            TestResult(
+                nodeid=report.nodeid,
+                outcome=report.outcome,
+                duration=getattr(report, "duration", 0.0) or 0.0,
+                seed=seed,
+                phase=report.when,
+            ),
+        )
+
+    def pytest_sessionfinish(self, session, exitstatus):
+        if not self.is_worker:
+            self.db.finish_run(self.run_id, int(exitstatus))
+
+    def pytest_unconfigure(self, config):
+        self.db.close()
+
+
+def install(config) -> Optional[ResultsRecorder]:
+    """Register a recorder on ``config`` when ``REHEARSAL_RESULTS_DB``
+    is set; the conftest calls this from ``pytest_configure``."""
+    db_path = os.environ.get(ENV_DB)
+    if not db_path:
+        return None
+    recorder = ResultsRecorder(db_path)
+    config.pluginmanager.register(recorder, "rehearsal-results-recorder")
+    return recorder
+
+
+def pytest_configure(config):
+    """Entry point when loaded with ``-p
+    repro.testing.orchestrate.pytest_plugin`` directly."""
+    if not config.pluginmanager.has_plugin("rehearsal-results-recorder"):
+        install(config)

@@ -1,0 +1,299 @@
+"""Render the results DB and the test map as an HTML report.
+
+``rehearsal testreport --db <results.sqlite> --out <dir>`` writes
+
+* ``index.html`` — run summaries, per-module total-duration trends
+  (inline SVG sparklines over the recorded runs), and the slowest
+  tests of the latest run with their recorded seeds;
+* ``dag.svg`` — the module→test import DAG from the committed test
+  map, layered by import depth (modules at the bottom, test files on
+  top, direct-import edges between layers).
+
+Everything is generated with the standard library — no plotting or
+templating dependency — so the report renders in any CI artifact
+browser.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.testing.orchestrate.resultsdb import ResultsDB, RunSummary
+from repro.testing.orchestrate.testmap import TestMap
+
+REPORT_NAME = "index.html"
+DAG_NAME = "dag.svg"
+
+_PASS = "#2e7d32"
+_FAIL = "#c62828"
+_SKIP = "#f9a825"
+_EDGE = "#90a4ae"
+_MODULE = "#1565c0"
+_TEST = "#6a1b9a"
+
+
+# -- sparklines ---------------------------------------------------------------
+
+
+def sparkline(
+    values: Sequence[float], width: int = 160, height: int = 28
+) -> str:
+    """Inline SVG polyline for a duration series (empty series → dash)."""
+    if not values:
+        return "<span>–</span>"
+    top = max(values) or 1.0
+    step = width / max(len(values) - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v / top) * (height - 4):.1f}"
+        for i, v in enumerate(values)
+    )
+    last = values[-1]
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline points="{points}" fill="none" '
+        f'stroke="{_MODULE}" stroke-width="1.5"/>'
+        f"</svg> <code>{last:.2f}s</code>"
+    )
+
+
+# -- the DAG ------------------------------------------------------------------
+
+
+def _layer_modules(test_map: TestMap) -> Dict[str, int]:
+    """Longest-path depth per module over direct deps (DAG by
+    construction of the import graph; cycles would already have broken
+    the import)."""
+    deps = {
+        name: [d for d in info["deps"] if d in test_map.modules]
+        for name, info in test_map.modules.items()
+    }
+    depth: Dict[str, int] = {}
+
+    def resolve(name: str, trail: Tuple[str, ...] = ()) -> int:
+        if name in depth:
+            return depth[name]
+        if name in trail:  # defensive: never recurse forever
+            return 0
+        best = 0
+        for dep in deps.get(name, ()):
+            best = max(best, resolve(dep, trail + (name,)) + 1)
+        depth[name] = best
+        return best
+
+    for name in deps:
+        resolve(name)
+    return depth
+
+
+def render_dag(test_map: TestMap) -> str:
+    """The module→test import graph as standalone SVG."""
+    depth = _layer_modules(test_map)
+    max_depth = max(depth.values(), default=0)
+    layers: List[List[str]] = [[] for _ in range(max_depth + 2)]
+    for name in sorted(depth):
+        layers[depth[name]].append(name)
+    test_layer = max_depth + 1
+    tests = sorted(test_map.tests)
+    layers[test_layer] = tests
+
+    node_w, node_h, x_gap, y_gap = 170, 22, 14, 64
+    widest = max((len(layer) for layer in layers), default=1)
+    width = max(widest * (node_w + x_gap) + x_gap, 640)
+    height = len(layers) * (node_h + y_gap) + y_gap
+
+    pos: Dict[str, Tuple[float, float]] = {}
+    for layer_index, layer in enumerate(layers):
+        if not layer:
+            continue
+        span = len(layer) * (node_w + x_gap)
+        x0 = (width - span) / 2
+        # Bottom layer = depth 0 (leaves), tests on top.
+        y = height - (layer_index + 1) * (node_h + y_gap)
+        for i, name in enumerate(layer):
+            pos[name] = (x0 + i * (node_w + x_gap), y)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="monospace" font-size="10">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="8" y="16" font-size="13">module → test import DAG '
+        f"({len(test_map.modules)} modules, {len(tests)} test files)"
+        "</text>",
+    ]
+
+    def edge(src: str, dst: str) -> None:
+        if src not in pos or dst not in pos:
+            return
+        x1, y1 = pos[src][0] + node_w / 2, pos[src][1] + node_h
+        x2, y2 = pos[dst][0] + node_w / 2, pos[dst][1]
+        parts.append(
+            f'<line x1="{x1:.0f}" y1="{y1:.0f}" x2="{x2:.0f}" '
+            f'y2="{y2:.0f}" stroke="{_EDGE}" stroke-width="0.6" '
+            'opacity="0.55"/>'
+        )
+
+    for name, info in sorted(test_map.modules.items()):
+        for dep in info["deps"]:
+            edge(name, dep)
+    for name in tests:
+        for dep in test_map.tests[name]["deps"]:
+            edge(name, dep)
+
+    global_modules = set(test_map.global_modules)
+    for name, (x, y) in pos.items():
+        is_test = name in test_map.tests
+        fill = _TEST if is_test else _MODULE
+        label = Path(name).name if is_test else name
+        if len(label) > 28:
+            label = "…" + label[-27:]
+        stroke = (
+            f' stroke="{_FAIL}" stroke-width="1.5"'
+            if name in global_modules
+            else ""
+        )
+        parts.append(
+            f'<g><rect x="{x:.0f}" y="{y:.0f}" width="{node_w}" '
+            f'height="{node_h}" rx="4" fill="{fill}" '
+            f'opacity="0.85"{stroke}/>'
+            f'<text x="{x + node_w / 2:.0f}" y="{y + 14:.0f}" '
+            f'fill="white" text-anchor="middle">'
+            f"{html.escape(label)}</text>"
+            f"<title>{html.escape(name)}</title></g>"
+        )
+    parts.append(
+        f'<text x="8" y="{height - 8:.0f}">'
+        "edges = direct imports; red outline = conftest dependency "
+        "(any edit runs the full suite)</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+# -- the HTML report ----------------------------------------------------------
+
+
+def _outcome_cell(summary: RunSummary) -> str:
+    color = _PASS if not summary.failed else _FAIL
+    return (
+        f'<td style="color:{color}">{summary.passed} passed, '
+        f"{summary.failed} failed, {summary.skipped} skipped</td>"
+    )
+
+
+def render_html(
+    db: ResultsDB,
+    test_map: Optional[TestMap] = None,
+    trend_runs: int = 20,
+    slowest: int = 15,
+) -> str:
+    runs = db.runs(limit=trend_runs)
+    trends = db.module_durations(limit_runs=trend_runs)
+    latest = runs[-1] if runs else None
+    rows = []
+    for summary in runs:
+        rows.append(
+            "<tr>"
+            f"<td><code>{html.escape(summary.run_id)}</code></td>"
+            f"<td>{summary.total}</td>"
+            + _outcome_cell(summary)
+            + f"<td>{summary.duration:.1f}s</td>"
+            f"<td>{summary.exit_status}</td>"
+            "</tr>"
+        )
+    trend_rows = []
+    for module in sorted(
+        trends, key=lambda m: -(trends[m][-1] if trends[m] else 0)
+    ):
+        trend_rows.append(
+            "<tr>"
+            f"<td><code>{html.escape(module)}</code></td>"
+            f"<td>{sparkline(trends[module])}</td>"
+            "</tr>"
+        )
+    slow_rows = []
+    if latest is not None:
+        for result in db.slowest_tests(latest.run_id, limit=slowest):
+            seed = (
+                f"<code>{html.escape(result.seed)}</code>"
+                if result.seed
+                else "–"
+            )
+            color = _PASS if result.outcome == "passed" else (
+                _SKIP if result.outcome == "skipped" else _FAIL
+            )
+            slow_rows.append(
+                "<tr>"
+                f"<td><code>{html.escape(result.nodeid)}</code></td>"
+                f'<td style="color:{color}">{result.outcome}</td>'
+                f"<td>{result.duration:.2f}s</td>"
+                f"<td>{seed}</td>"
+                "</tr>"
+            )
+    dag_section = (
+        f'<h2>Import DAG</h2><p><a href="{DAG_NAME}">'
+        f"module → test dependency graph ({len(test_map.modules)} "
+        f"modules, {len(test_map.tests)} test files)</a></p>"
+        if test_map is not None
+        else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>rehearsal test report</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; max-width: 70em; }}
+ table {{ border-collapse: collapse; }}
+ td, th {{ border: 1px solid #ccc; padding: 4px 10px;
+           text-align: left; }}
+ th {{ background: #eceff1; }}
+</style></head><body>
+<h1>rehearsal test report</h1>
+<p>{len(runs)} recorded run(s) in <code>{html.escape(str(db.path))}</code>.</p>
+<h2>Runs</h2>
+<table><tr><th>run</th><th>tests</th><th>outcomes</th>
+<th>total duration</th><th>exit</th></tr>
+{''.join(rows) or '<tr><td colspan="5">no runs recorded</td></tr>'}
+</table>
+<h2>Per-module duration trend (last {trend_runs} runs)</h2>
+<table><tr><th>test module</th><th>total call duration</th></tr>
+{''.join(trend_rows) or '<tr><td colspan="2">no results</td></tr>'}
+</table>
+<h2>Slowest tests (latest run)</h2>
+<table><tr><th>test</th><th>outcome</th><th>duration</th>
+<th>seed</th></tr>
+{''.join(slow_rows) or '<tr><td colspan="4">no results</td></tr>'}
+</table>
+{dag_section}
+</body></html>
+"""
+
+
+def write_report(
+    db_path,
+    out_dir,
+    map_path=None,
+    trend_runs: int = 20,
+) -> List[Path]:
+    """Render ``index.html`` (and ``dag.svg`` when a map is given)
+    into ``out_dir``; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    test_map = None
+    if map_path is not None and Path(map_path).is_file():
+        test_map = TestMap.load(map_path)
+    written = []
+    with ResultsDB(db_path) as db:
+        index = out / REPORT_NAME
+        index.write_text(
+            render_html(db, test_map, trend_runs=trend_runs),
+            encoding="utf8",
+        )
+        written.append(index)
+    if test_map is not None:
+        dag = out / DAG_NAME
+        dag.write_text(render_dag(test_map), encoding="utf8")
+        written.append(dag)
+    return written

@@ -1,0 +1,281 @@
+"""SQLite store for per-test results across runs.
+
+One database file accumulates every recorded pytest run: per-test
+outcome, call duration, and (for fuzz/property tests that expose one
+via ``record_property("seed", ...)``) the seed that drove the test.
+``rehearsal testreport`` reads it back to render duration trends per
+module; CI uploads the rendered report as an artifact.
+
+Concurrency: parallel runners (pytest-xdist workers, or plain
+concurrent pytest invocations) each open their own connection and
+write independently.  Safety comes from WAL journaling, a busy
+timeout, ``INSERT OR REPLACE`` keyed on ``(run_id, nodeid)``, and an
+explicit retry loop around commits — SQLite serializes the writers,
+we just have to wait our turn instead of raising ``database is
+locked``.
+
+Schema (``SCHEMA_VERSION`` guards compatibility):
+
+* ``runs(run_id, started_at, finished_at, exit_status, argv, meta)``
+* ``results(run_id, nodeid, module, outcome, duration, seed, phase)``
+  with primary key ``(run_id, nodeid)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    started_at REAL NOT NULL,
+    finished_at REAL,
+    exit_status INTEGER,
+    argv TEXT,
+    meta TEXT
+);
+CREATE TABLE IF NOT EXISTS results (
+    run_id TEXT NOT NULL,
+    nodeid TEXT NOT NULL,
+    module TEXT NOT NULL,
+    outcome TEXT NOT NULL,
+    duration REAL NOT NULL,
+    seed TEXT,
+    phase TEXT NOT NULL DEFAULT 'call',
+    PRIMARY KEY (run_id, nodeid)
+);
+CREATE INDEX IF NOT EXISTS idx_results_module
+    ON results (module, run_id);
+"""
+
+_LOCK_RETRIES = 40
+_LOCK_SLEEP = 0.05
+
+
+@dataclass
+class TestResult:
+    nodeid: str
+    outcome: str
+    duration: float
+    seed: Optional[str] = None
+    phase: str = "call"
+
+    @property
+    def module(self) -> str:
+        return self.nodeid.split("::", 1)[0]
+
+
+@dataclass
+class RunSummary:
+    run_id: str
+    started_at: float
+    finished_at: Optional[float]
+    exit_status: Optional[int]
+    total: int
+    passed: int
+    failed: int
+    skipped: int
+    duration: float
+
+
+class ResultsDB:
+    """One connection to the results database; safe to instantiate
+    once per process (xdist worker, pytest invocation, reporter)."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=10.0, isolation_level=None
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=10000")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._execute_retry(_SCHEMA, script=True)
+        self._execute_retry(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+        stored = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if stored and int(stored[0]) != SCHEMA_VERSION:
+            raise ValueError(
+                f"{self.path}: results DB schema {stored[0]} is not "
+                f"the supported {SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsDB":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------
+
+    def begin_run(
+        self,
+        run_id: str,
+        argv: Optional[Sequence[str]] = None,
+        meta: Optional[dict] = None,
+        started_at: Optional[float] = None,
+    ) -> None:
+        self._execute_retry(
+            "INSERT OR REPLACE INTO runs "
+            "(run_id, started_at, argv, meta) VALUES (?, ?, ?, ?)",
+            (
+                run_id,
+                time.time() if started_at is None else started_at,
+                json.dumps(list(argv or [])),
+                json.dumps(meta or {}),
+            ),
+        )
+
+    def record(self, run_id: str, result: TestResult) -> None:
+        self._execute_retry(
+            "INSERT OR REPLACE INTO results "
+            "(run_id, nodeid, module, outcome, duration, seed, phase) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                result.nodeid,
+                result.module,
+                result.outcome,
+                result.duration,
+                result.seed,
+                result.phase,
+            ),
+        )
+
+    def finish_run(
+        self,
+        run_id: str,
+        exit_status: int,
+        finished_at: Optional[float] = None,
+    ) -> None:
+        self._execute_retry(
+            "UPDATE runs SET finished_at = ?, exit_status = ? "
+            "WHERE run_id = ?",
+            (
+                time.time() if finished_at is None else finished_at,
+                exit_status,
+                run_id,
+            ),
+        )
+
+    # -- reads -------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT run_id FROM runs ORDER BY started_at"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def runs(self, limit: Optional[int] = None) -> List[RunSummary]:
+        """Newest-last summaries of the most recent ``limit`` runs."""
+        sql = """
+            SELECT r.run_id, r.started_at, r.finished_at,
+                   r.exit_status,
+                   COUNT(t.nodeid),
+                   SUM(t.outcome = 'passed'),
+                   SUM(t.outcome = 'failed'),
+                   SUM(t.outcome = 'skipped'),
+                   COALESCE(SUM(t.duration), 0.0)
+            FROM runs r LEFT JOIN results t ON t.run_id = r.run_id
+            GROUP BY r.run_id ORDER BY r.started_at DESC
+        """
+        params: tuple = ()
+        if limit is not None:
+            sql += " LIMIT ?"
+            params = (limit,)
+        rows = self._conn.execute(sql, params).fetchall()
+        return [
+            RunSummary(
+                run_id=row[0],
+                started_at=row[1],
+                finished_at=row[2],
+                exit_status=row[3],
+                total=row[4] or 0,
+                passed=row[5] or 0,
+                failed=row[6] or 0,
+                skipped=row[7] or 0,
+                duration=row[8] or 0.0,
+            )
+            for row in reversed(rows)
+        ]
+
+    def results_for_run(self, run_id: str) -> List[TestResult]:
+        rows = self._conn.execute(
+            "SELECT nodeid, outcome, duration, seed, phase "
+            "FROM results WHERE run_id = ? ORDER BY nodeid",
+            (run_id,),
+        ).fetchall()
+        return [TestResult(*row) for row in rows]
+
+    def module_durations(
+        self, limit_runs: Optional[int] = None
+    ) -> Dict[str, List[float]]:
+        """Per test module: total call duration per run, oldest run
+        first — the series the report renders as a trend."""
+        run_order = self.run_ids()
+        if limit_runs is not None:
+            run_order = run_order[-limit_runs:]
+        index = {run_id: i for i, run_id in enumerate(run_order)}
+        series: Dict[str, List[float]] = {}
+        rows = self._conn.execute(
+            "SELECT module, run_id, SUM(duration) FROM results "
+            "GROUP BY module, run_id"
+        ).fetchall()
+        for module, run_id, total in rows:
+            if run_id not in index:
+                continue
+            trend = series.setdefault(module, [0.0] * len(run_order))
+            trend[index[run_id]] = total or 0.0
+        return series
+
+    def slowest_tests(
+        self, run_id: str, limit: int = 15
+    ) -> List[TestResult]:
+        rows = self._conn.execute(
+            "SELECT nodeid, outcome, duration, seed, phase "
+            "FROM results WHERE run_id = ? "
+            "ORDER BY duration DESC LIMIT ?",
+            (run_id, limit),
+        ).fetchall()
+        return [TestResult(*row) for row in rows]
+
+    # -- plumbing ----------------------------------------------------
+
+    def _execute_retry(self, sql, params=(), script=False):
+        for attempt in range(_LOCK_RETRIES):
+            try:
+                if script:
+                    return self._conn.executescript(sql)
+                return self._conn.execute(sql, params)
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc) and "busy" not in str(exc):
+                    raise
+                if attempt == _LOCK_RETRIES - 1:
+                    raise
+                time.sleep(_LOCK_SLEEP)
+
+
+def default_run_id() -> str:
+    """Unique-enough id: timestamp + pid (xdist workers share the
+    controller's id via the environment instead of minting one)."""
+    return f"{time.strftime('%Y%m%dT%H%M%S')}-{os.getpid()}"

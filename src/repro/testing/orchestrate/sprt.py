@@ -1,0 +1,137 @@
+"""Wald's sequential probability ratio test for burn-in decisions.
+
+A quarantined reproducer is replayed trial by trial; each trial either
+passes (the disagreement it was minted for stays fixed and the pinned
+verdicts hold) or fails.  The SPRT decides between
+
+* **H_stable** — the per-trial pass probability is at least
+  ``p_stable`` (promote: the reproducer is a trustworthy pinned
+  regression), and
+* **H_flaky** — the pass probability is at most ``p_flaky`` (demote:
+  the reproducer flakes and would poison tier-1).
+
+After each trial the log-likelihood ratio
+
+    llr += log(P(x | flaky) / P(x | stable))
+
+is compared against Wald's boundaries ``log(beta / (1 - alpha))``
+(accept H_stable) and ``log((1 - beta) / alpha)`` (accept H_flaky),
+where ``alpha`` bounds the false-demotion and ``beta`` the
+false-promotion probability.  The test stops the moment a boundary is
+crossed — stable reproducers promote after a short streak of passes,
+flaky ones demote almost immediately — and returns *undecided* if
+``max_trials`` runs out first (the reproducer stays quarantined).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Decision(str, enum.Enum):
+    PROMOTE = "promoted"
+    DEMOTE = "demoted"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class SprtConfig:
+    """Hypotheses and error bounds; defaults promote a perfectly
+    stable reproducer in ~9 trials and demote on the first failure."""
+
+    p_stable: float = 0.99
+    p_flaky: float = 0.70
+    alpha: float = 0.05
+    beta: float = 0.05
+    max_trials: int = 40
+
+    def __post_init__(self):
+        if not 0.0 < self.p_flaky < self.p_stable < 1.0:
+            raise ValueError(
+                "need 0 < p_flaky < p_stable < 1, got "
+                f"p_flaky={self.p_flaky}, p_stable={self.p_stable}"
+            )
+        for name in ("alpha", "beta"):
+            value = getattr(self, name)
+            if not 0.0 < value < 0.5:
+                raise ValueError(
+                    f"{name} must be in (0, 0.5), got {value}"
+                )
+        if self.max_trials < 1:
+            raise ValueError(
+                f"max_trials must be >= 1, got {self.max_trials}"
+            )
+
+    @property
+    def pass_increment(self) -> float:
+        return math.log(self.p_flaky / self.p_stable)
+
+    @property
+    def fail_increment(self) -> float:
+        return math.log((1.0 - self.p_flaky) / (1.0 - self.p_stable))
+
+    @property
+    def promote_boundary(self) -> float:
+        return math.log(self.beta / (1.0 - self.alpha))
+
+    @property
+    def demote_boundary(self) -> float:
+        return math.log((1.0 - self.beta) / self.alpha)
+
+
+@dataclass
+class SprtTest:
+    """One running test; feed trials through :meth:`update`."""
+
+    config: SprtConfig = field(default_factory=SprtConfig)
+    trials: int = 0
+    failures: int = 0
+    llr: float = 0.0
+    decision: Decision = Decision.UNDECIDED
+    history: List[bool] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.decision is not Decision.UNDECIDED
+            or self.trials >= self.config.max_trials
+        )
+
+    @property
+    def flake_rate(self) -> Optional[float]:
+        if not self.trials:
+            return None
+        return self.failures / self.trials
+
+    def update(self, passed: bool) -> Decision:
+        """Record one trial; returns the (possibly still undecided)
+        decision.  Calling after the test is done is an error — the
+        SPRT's guarantees only cover the stopped sample."""
+        if self.done:
+            raise RuntimeError("SPRT already decided; no more trials")
+        self.trials += 1
+        self.history.append(bool(passed))
+        if passed:
+            self.llr += self.config.pass_increment
+        else:
+            self.failures += 1
+            self.llr += self.config.fail_increment
+        if self.llr <= self.config.promote_boundary:
+            self.decision = Decision.PROMOTE
+        elif self.llr >= self.config.demote_boundary:
+            self.decision = Decision.DEMOTE
+        return self.decision
+
+
+def run_sprt(trial, config: Optional[SprtConfig] = None) -> SprtTest:
+    """Drive ``trial(index) -> bool`` to a decision (or the trial
+    cap); the convenience wrapper the burn-in driver uses."""
+    test = SprtTest(config=config or SprtConfig())
+    index = 0
+    while not test.done:
+        test.update(bool(trial(index)))
+        index += 1
+    return test

@@ -1,0 +1,713 @@
+"""Dependency-aware test selection: the module→test map.
+
+A static import-graph scanner walks every ``src/`` module, every
+``tests/test_*.py`` file, and every ``conftest.py``, extracts their
+import statements from the AST (function-level imports included — a
+deferred ``from repro.testing import FuzzSession`` inside a CLI
+handler is still a real runtime dependency), resolves them against
+the scanned module universe, and computes for every module the set of
+test files whose transitive imports reach it.  The result is
+persisted as a content-hashed JSON map (``tests/testmap.json``) that
+``rehearsal testmap select --changed <paths>`` turns into the minimal
+pytest file list for a change.
+
+Soundness over cleverness — selection falls back to the **full
+suite** whenever precision cannot be guaranteed:
+
+* the committed map is *stale*: any scanned file was added, removed,
+  or changed its import structure since the map was built (per-file
+  fingerprints hash the canonicalized import statements, so body-only
+  edits do not invalidate the map);
+* a ``conftest.py`` changed (fixtures feed every test), or a changed
+  module is one a conftest transitively imports;
+* a changed file is unmapped (test-support data, tools, CI config).
+
+Two import idioms get precise treatment:
+
+* **lazy package inits** — a package whose ``__init__`` declares the
+  ``_LAZY_EXPORTS = {"Name": "defining.module"}`` table (PEP 562, as
+  :mod:`repro` and :mod:`repro.testing` do) lets the scanner resolve
+  ``from pkg import Name`` to the defining module instead of the whole
+  package;
+* **parent-package semantics** — importing ``a.b.c`` executes the
+  ``a`` and ``a.b`` inits, so every module depends on its ancestor
+  packages (which is exactly why the fat eager inits had to become
+  lazy before selection could be better than "everything, always").
+
+Files using dynamic imports (``importlib``/``__import__`` with a
+non-constant argument) are handled conservatively: a dynamic *test*
+depends on every module; a dynamic *src module* is depended on by
+every test.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: Bump when the scanning/resolution algorithm changes meaning:
+#: fingerprints embed it, so every committed map goes stale at once.
+SCANNER_VERSION = 1
+
+MAP_SCHEMA = 1
+
+#: Default persisted location, relative to the repo root.
+DEFAULT_MAP_PATH = "tests/testmap.json"
+
+#: Test that guards the documentation link graph: any ``*.md`` edit
+#: selects it (check_links.py scans the markdown tree).
+DOCS_TEST = "tests/test_docs_links.py"
+
+#: Tests exercising the committed regression corpus: any edit under
+#: ``tests/regressions/`` selects them.
+REGRESSION_TESTS = ("tests/test_regressions.py",)
+
+#: Tests exercising the map itself: editing the committed map file
+#: selects them (a rebuilt map cannot break anything else).
+MAP_TESTS = ("tests/test_orchestrate_testmap.py",)
+
+#: Changed paths that provably cannot affect any test.
+INERT_FILES = frozenset({".gitignore"})
+
+
+# -- per-file scanning --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FileScan:
+    """Canonical import structure of one Python file."""
+
+    path: str  # repo-relative, posix separators
+    specs: Tuple[tuple, ...]
+    lazy_exports: Optional[Tuple[Tuple[str, str], ...]]
+    dynamic: bool
+    parse_error: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        payload = json.dumps(
+            {
+                "v": SCANNER_VERSION,
+                "specs": sorted(self.specs),
+                "lazy": (
+                    sorted(self.lazy_exports)
+                    if self.lazy_exports is not None
+                    else None
+                ),
+                "dynamic": self.dynamic,
+                "parse_error": self.parse_error,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf8")).hexdigest()
+
+
+_DYNAMIC_IMPORTERS = {"__import__", "import_module"}
+
+
+def scan_source(path: str, source: str) -> FileScan:
+    """Extract the import structure of one file (see module docstring).
+
+    ``specs`` entries are either ``("import", "a.b.c")`` or
+    ``("from", level, "a.b", ("x", "y"))`` — names sorted, ``"*"`` for
+    star imports.  Unparseable files scan as dynamic (maximally
+    conservative).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return FileScan(
+            path=path,
+            specs=(),
+            lazy_exports=None,
+            dynamic=True,
+            parse_error=True,
+        )
+    specs: List[tuple] = []
+    dynamic = False
+    lazy: Optional[Tuple[Tuple[str, str], ...]] = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                specs.append(("import", alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            specs.append(
+                (
+                    "from",
+                    node.level,
+                    node.module or "",
+                    tuple(sorted(alias.name for alias in node.names)),
+                )
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _DYNAMIC_IMPORTERS:
+                if (
+                    node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    # importlib.import_module("a.b") is just an import.
+                    specs.append(("import", node.args[0].value))
+                else:
+                    dynamic = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "_LAZY_EXPORTS"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    table = _literal_table(node.value)
+                    if table is not None:
+                        lazy = tuple(sorted(table.items()))
+    if lazy is not None:
+        # The PEP 562 idiom resolves import_module(_LAZY_EXPORTS[name])
+        # — the table IS the declaration, not an open-ended dynamic
+        # import.
+        dynamic = False
+    return FileScan(
+        path=path, specs=tuple(specs), lazy_exports=lazy, dynamic=dynamic
+    )
+
+
+def _literal_table(node: ast.Dict) -> Optional[Dict[str, str]]:
+    table = {}
+    for key, value in zip(node.keys, node.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return None
+        table[key.value] = value.value
+    return table
+
+
+# -- repo discovery -----------------------------------------------------------
+
+
+def _rel(path: Path, root: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def discover_files(root: Path) -> Dict[str, str]:
+    """relpath -> kind for every file the map covers.
+
+    Kinds: ``module`` (under ``src/``), ``test`` (tests/test_*.py),
+    ``conftest`` (any conftest.py under the root, tests/ or
+    benchmarks/).
+    """
+    root = Path(root)
+    files: Dict[str, str] = {}
+    src = root / "src"
+    if src.is_dir():
+        for path in sorted(src.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            files[_rel(path, root)] = "module"
+    tests = root / "tests"
+    if tests.is_dir():
+        for path in sorted(tests.rglob("test_*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            files[_rel(path, root)] = "test"
+    for conftest_dir in (root, root / "tests", root / "benchmarks"):
+        candidate = conftest_dir / "conftest.py"
+        if candidate.is_file():
+            files[_rel(candidate, root)] = "conftest"
+    return files
+
+
+def _module_name(relpath: str) -> Optional[str]:
+    """src/pkg/a/b.py -> pkg.a.b; src/pkg/a/__init__.py -> pkg.a."""
+    parts = Path(relpath).parts
+    if len(parts) < 2 or parts[0] != "src":
+        return None
+    dotted = list(parts[1:])
+    if dotted[-1] == "__init__.py":
+        dotted = dotted[:-1]
+    else:
+        dotted[-1] = dotted[-1][: -len(".py")]
+    return ".".join(dotted) if dotted else None
+
+
+# -- dependency resolution ----------------------------------------------------
+
+
+def _ancestors(module: str) -> List[str]:
+    parts = module.split(".")
+    return [".".join(parts[:i]) for i in range(1, len(parts) + 1)]
+
+
+def _resolve_specs(
+    specs: Iterable[tuple],
+    universe: Set[str],
+    lazy_tables: Dict[str, Dict[str, str]],
+    current_package: Optional[str],
+) -> Set[str]:
+    deps: Set[str] = set()
+
+    def add(module: str) -> None:
+        for prefix in _ancestors(module):
+            if prefix in universe:
+                deps.add(prefix)
+
+    for spec in specs:
+        if spec[0] == "import":
+            add(spec[1])
+            continue
+        _, level, mod, names = spec
+        if level:
+            if current_package is None:
+                continue  # relative import outside a known package
+            pkg_parts = current_package.split(".")
+            if level - 1 >= len(pkg_parts):
+                continue
+            base_parts = pkg_parts[: len(pkg_parts) - (level - 1)]
+            base = ".".join(base_parts + ([mod] if mod else []))
+        else:
+            base = mod
+        if not base:
+            continue
+        add(base)
+        table = lazy_tables.get(base)
+        for name in names:
+            if name == "*":
+                if table:
+                    for target in table.values():
+                        add(target)
+                continue
+            candidate = f"{base}.{name}"
+            if candidate in universe:
+                add(candidate)
+            elif table and name in table:
+                add(table[name])
+    return deps
+
+
+# -- the map ------------------------------------------------------------------
+
+
+@dataclass
+class TestMap:
+    """The persisted module→test map (see module docstring)."""
+
+    fingerprints: Dict[str, str]
+    modules: Dict[str, dict]  # module -> {"path", "deps"}
+    tests: Dict[str, dict]  # test relpath -> {"deps", "dynamic"}
+    conftests: List[str]
+    global_modules: List[str]
+    module_tests: Dict[str, List[str]]
+    schema: int = MAP_SCHEMA
+    scanner_version: int = SCANNER_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "scanner_version": self.scanner_version,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+            "modules": {
+                name: {
+                    "path": info["path"],
+                    "deps": sorted(info["deps"]),
+                }
+                for name, info in sorted(self.modules.items())
+            },
+            "tests": {
+                name: {
+                    "deps": sorted(info["deps"]),
+                    "dynamic": info["dynamic"],
+                }
+                for name, info in sorted(self.tests.items())
+            },
+            "conftests": sorted(self.conftests),
+            "global_modules": sorted(self.global_modules),
+            "module_tests": {
+                module: sorted(tests)
+                for module, tests in sorted(self.module_tests.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TestMap":
+        if payload.get("schema") != MAP_SCHEMA:
+            raise ValueError(
+                f"unsupported testmap schema {payload.get('schema')!r} "
+                f"(expected {MAP_SCHEMA})"
+            )
+        return cls(
+            fingerprints=dict(payload["fingerprints"]),
+            modules={
+                name: {"path": info["path"], "deps": list(info["deps"])}
+                for name, info in payload["modules"].items()
+            },
+            tests={
+                name: {
+                    "deps": list(info["deps"]),
+                    "dynamic": bool(info["dynamic"]),
+                }
+                for name, info in payload["tests"].items()
+            },
+            conftests=list(payload["conftests"]),
+            global_modules=list(payload["global_modules"]),
+            module_tests={
+                module: list(tests)
+                for module, tests in payload["module_tests"].items()
+            },
+            scanner_version=int(payload.get("scanner_version", 0)),
+        )
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf8")
+
+    @classmethod
+    def load(cls, path: Path) -> "TestMap":
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf8"))
+        )
+
+
+def scan_repo(root: Path) -> Dict[str, FileScan]:
+    """Scan every covered file; relpath -> FileScan."""
+    root = Path(root)
+    scans = {}
+    for relpath in discover_files(root):
+        source = (root / relpath).read_text(encoding="utf8")
+        scans[relpath] = scan_source(relpath, source)
+    return scans
+
+
+def current_fingerprints(root: Path) -> Dict[str, str]:
+    return {
+        relpath: scan.fingerprint
+        for relpath, scan in scan_repo(root).items()
+    }
+
+
+def build_map(root: Path) -> TestMap:
+    root = Path(root)
+    kinds = discover_files(root)
+    scans = scan_repo(root)
+
+    universe: Dict[str, str] = {}  # module -> relpath
+    for relpath, kind in kinds.items():
+        if kind != "module":
+            continue
+        name = _module_name(relpath)
+        if name is not None:
+            universe[name] = relpath
+    module_set = set(universe)
+
+    lazy_tables = {}
+    for name, relpath in universe.items():
+        table = scans[relpath].lazy_exports
+        if table is not None:
+            lazy_tables[name] = dict(table)
+
+    # Direct deps per module: resolved imports plus ancestor packages
+    # (their inits execute on import).
+    direct: Dict[str, Set[str]] = {}
+    dynamic_modules: Set[str] = set()
+    for name, relpath in universe.items():
+        scan = scans[relpath]
+        package = name if relpath.endswith("__init__.py") else (
+            name.rsplit(".", 1)[0] if "." in name else None
+        )
+        deps = _resolve_specs(
+            scan.specs, module_set, lazy_tables, package
+        )
+        deps.update(a for a in _ancestors(name)[:-1])
+        deps.discard(name)
+        direct[name] = {d for d in deps if d in module_set}
+        if scan.dynamic:
+            dynamic_modules.add(name)
+
+    # Transitive closure per module (graphs are small; BFS each).
+    closure: Dict[str, Set[str]] = {}
+    for name in universe:
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            for dep in direct.get(node, ()):
+                if dep not in seen:
+                    seen.add(dep)
+                    stack.append(dep)
+        closure[name] = seen
+
+    def file_deps(relpath: str) -> Tuple[Set[str], bool]:
+        scan = scans[relpath]
+        deps = _resolve_specs(scan.specs, module_set, lazy_tables, None)
+        full = set()
+        for dep in deps:
+            full.add(dep)
+            full.update(closure[dep])
+        # A module anywhere in the closure that itself does dynamic
+        # imports makes the reachable set unknowable — treat the file
+        # as dynamic.
+        dyn = scan.dynamic or bool(full & dynamic_modules)
+        return full, dyn
+
+    tests: Dict[str, dict] = {}
+    module_tests: Dict[str, Set[str]] = {m: set() for m in universe}
+    test_paths = sorted(
+        relpath for relpath, kind in kinds.items() if kind == "test"
+    )
+    for relpath in test_paths:
+        full, dyn = file_deps(relpath)
+        direct_deps = _resolve_specs(
+            scans[relpath].specs, module_set, lazy_tables, None
+        )
+        tests[relpath] = {
+            "deps": sorted(direct_deps),
+            "dynamic": dyn,
+        }
+        reach = module_set if dyn else full
+        for module in reach:
+            module_tests[module].add(relpath)
+
+    conftests = sorted(
+        relpath for relpath, kind in kinds.items() if kind == "conftest"
+    )
+    global_modules: Set[str] = set()
+    for relpath in conftests:
+        full, dyn = file_deps(relpath)
+        if dyn:
+            # A dynamic conftest could reach anything: every module
+            # becomes a full-suite trigger.
+            global_modules = set(module_set)
+            break
+        global_modules.update(full)
+
+    return TestMap(
+        fingerprints={
+            relpath: scan.fingerprint
+            for relpath, scan in scans.items()
+        },
+        modules={
+            name: {"path": relpath, "deps": sorted(direct[name])}
+            for name, relpath in universe.items()
+        },
+        tests=tests,
+        conftests=conftests,
+        global_modules=sorted(global_modules),
+        module_tests={
+            module: sorted(found)
+            for module, found in module_tests.items()
+        },
+    )
+
+
+# -- selection ----------------------------------------------------------------
+
+
+@dataclass
+class Selection:
+    """The outcome of mapping a changed-file list to a test subset."""
+
+    mode: str  # "subset" | "full"
+    tests: List[str] = field(default_factory=list)
+    reasons: List[str] = field(default_factory=list)
+    changed: List[str] = field(default_factory=list)
+    total_tests: int = 0
+
+    @property
+    def selected_fraction(self) -> float:
+        if not self.total_tests:
+            return 1.0
+        if self.mode == "full":
+            return 1.0
+        return len(self.tests) / self.total_tests
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "tests": list(self.tests),
+            "reasons": list(self.reasons),
+            "changed": list(self.changed),
+            "total_tests": self.total_tests,
+            "selected_fraction": round(self.selected_fraction, 4),
+        }
+
+
+def _normalize_changed(
+    changed: Iterable[str], root: Path
+) -> List[str]:
+    root = Path(root).resolve()
+    normalized = []
+    for raw in changed:
+        path = Path(raw)
+        if path.is_absolute():
+            try:
+                path = path.resolve().relative_to(root)
+            except ValueError:
+                normalized.append(Path(raw).as_posix())
+                continue
+        normalized.append(path.as_posix())
+    return normalized
+
+
+def select(
+    test_map: TestMap,
+    root: Path,
+    changed: Iterable[str],
+    map_path: str = DEFAULT_MAP_PATH,
+) -> Selection:
+    """Turn a changed-path list into the minimal sound test subset.
+
+    Every fallback to the full suite carries a reason; callers surface
+    them so a surprising full run is explainable.
+    """
+    root = Path(root)
+    changed_paths = _normalize_changed(changed, root)
+    selection = Selection(
+        mode="subset",
+        changed=changed_paths,
+        total_tests=len(test_map.tests),
+    )
+
+    if test_map.scanner_version != SCANNER_VERSION:
+        return _full(
+            selection,
+            f"map built by scanner v{test_map.scanner_version}, "
+            f"current is v{SCANNER_VERSION}",
+        )
+
+    fresh = current_fingerprints(root)
+    if fresh != test_map.fingerprints:
+        added = sorted(set(fresh) - set(test_map.fingerprints))
+        removed = sorted(set(test_map.fingerprints) - set(fresh))
+        drifted = sorted(
+            p
+            for p in set(fresh) & set(test_map.fingerprints)
+            if fresh[p] != test_map.fingerprints[p]
+        )
+        detail = "; ".join(
+            f"{label}: {', '.join(paths[:3])}"
+            f"{'…' if len(paths) > 3 else ''}"
+            for label, paths in (
+                ("added", added),
+                ("removed", removed),
+                ("imports changed", drifted),
+            )
+            if paths
+        )
+        return _full(selection, f"map is stale ({detail})")
+
+    path_to_module = {
+        info["path"]: name for name, info in test_map.modules.items()
+    }
+    global_modules = set(test_map.global_modules)
+    selected: Set[str] = set()
+
+    for path in changed_paths:
+        if path in INERT_FILES:
+            continue
+        if Path(path).name == "conftest.py":
+            return _full(selection, f"{path}: conftest/fixture edit")
+        if path in test_map.tests:
+            selected.add(path)
+            continue
+        if path == map_path:
+            known = [t for t in MAP_TESTS if t in test_map.tests]
+            if known:
+                selected.update(known)
+                continue
+            return _full(selection, f"{path}: map edited, no map tests")
+        if path.startswith("tests/regressions/"):
+            known = [t for t in REGRESSION_TESTS if t in test_map.tests]
+            if known:
+                selected.update(known)
+                continue
+            return _full(
+                selection, f"{path}: regression corpus edit, no "
+                "replay test in map"
+            )
+        if path.startswith("tests/"):
+            return _full(
+                selection, f"{path}: unmapped test-support file"
+            )
+        if path.endswith(".md"):
+            if DOCS_TEST in test_map.tests:
+                selected.add(DOCS_TEST)
+                continue
+            return _full(selection, f"{path}: docs edit, no docs test")
+        module = path_to_module.get(path)
+        if module is None and path.startswith("src/"):
+            # Package data (e.g. corpus manifests): attribute the
+            # change to the deepest enclosing package.
+            module = _enclosing_package(path, path_to_module)
+        if module is not None:
+            if module in global_modules:
+                return _full(
+                    selection,
+                    f"{path}: module {module} is a conftest dependency",
+                )
+            selected.update(test_map.module_tests.get(module, ()))
+            continue
+        return _full(selection, f"{path}: unmapped file")
+
+    selection.tests = sorted(selected)
+    return selection
+
+
+def _enclosing_package(
+    path: str, path_to_module: Dict[str, str]
+) -> Optional[str]:
+    parent = Path(path).parent
+    while parent.parts and parent.parts[0] == "src":
+        init = (parent / "__init__.py").as_posix()
+        if init in path_to_module:
+            return path_to_module[init]
+        parent = parent.parent
+    return None
+
+
+def _full(selection: Selection, reason: str) -> Selection:
+    selection.mode = "full"
+    selection.tests = []
+    selection.reasons.append(reason)
+    return selection
+
+
+# -- drift check --------------------------------------------------------------
+
+
+def check_drift(committed: TestMap, fresh: TestMap) -> List[str]:
+    """Human-readable differences between the committed map and a
+    fresh build (empty list == no drift)."""
+    problems = []
+    if committed.scanner_version != fresh.scanner_version:
+        problems.append(
+            f"scanner version drift: map v{committed.scanner_version}, "
+            f"current v{fresh.scanner_version}"
+        )
+    old, new = committed.fingerprints, fresh.fingerprints
+    for path in sorted(set(new) - set(old)):
+        problems.append(f"not in committed map: {path}")
+    for path in sorted(set(old) - set(new)):
+        problems.append(f"committed map names a missing file: {path}")
+    for path in sorted(set(old) & set(new)):
+        if old[path] != new[path]:
+            problems.append(f"import structure drifted: {path}")
+    if not problems and committed.to_dict() != fresh.to_dict():
+        problems.append(
+            "fingerprints agree but derived tables differ (map built "
+            "by an older tool?) — rebuild with 'rehearsal testmap "
+            "build'"
+        )
+    return problems

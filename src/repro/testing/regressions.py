@@ -46,6 +46,23 @@ REQUIRED_KEYS = (
     "expected-deterministic",
 )
 
+#: Disagreement kinds the differential driver can actually emit; a
+#: header claiming anything else was hand-edited or minted by an
+#: incompatible tool.
+KNOWN_DISAGREEMENTS = frozenset(
+    {
+        "missed_nondet",
+        "false_nondet",
+        "witness_invalid",
+        "missed_nonidempotence",
+        "idempotence_witness_invalid",
+        "race_pair_mismatch",
+        "race_path_mismatch",
+        "pipeline_error",
+        "lint_false_race",
+    }
+)
+
 _HEADER_RE = re.compile(r"^#\s*([a-z-]+):\s*(.+?)\s*$")
 
 
@@ -105,6 +122,69 @@ def parse_header(text: str, name: str = "<regression>") -> RegressionHeader:
         )
     except ValueError as exc:
         raise RegressionFormatError(f"{name}: {exc}") from None
+
+
+def validate_header(text: str, name: str = "<regression>") -> List[str]:
+    """Validate the full header schema field by field.
+
+    Unlike :func:`parse_header` (which raises on the first problem so
+    replay can bail early), this returns *every* problem with a
+    per-field message — ``tools/check_regressions.py`` and the burn-in
+    driver report them all at once.  An empty list means the header is
+    well formed.
+    """
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines or MARKER not in lines[0]:
+        problems.append(f"{name}: first line must be '# {MARKER}'")
+        return problems
+    fields = {}
+    for line in lines[1:]:
+        if not line.startswith("#"):
+            break
+        match = _HEADER_RE.match(line)
+        if match:
+            key, value = match.group(1), match.group(2)
+            if key in fields:
+                problems.append(f"{name}: duplicate header key {key!r}")
+            fields[key] = value
+    for key in ("seed", "case-id", "generator-version"):
+        raw = fields.get(key)
+        if raw is None:
+            problems.append(f"{name}: missing required key {key!r}")
+        elif not raw.isdigit():
+            problems.append(
+                f"{name}: {key} must be a non-negative integer, "
+                f"got {raw!r}"
+            )
+    disagreement = fields.get("disagreement")
+    if disagreement is None:
+        problems.append(f"{name}: missing required key 'disagreement'")
+    elif disagreement not in KNOWN_DISAGREEMENTS:
+        problems.append(
+            f"{name}: unknown disagreement {disagreement!r} "
+            f"(known: {', '.join(sorted(KNOWN_DISAGREEMENTS))})"
+        )
+    for key in ("expected-deterministic", "expected-idempotent"):
+        raw = fields.get(key)
+        if raw is None:
+            if key in REQUIRED_KEYS:
+                problems.append(f"{name}: missing required key {key!r}")
+            continue
+        if raw.strip().lower() not in ("true", "false", "none"):
+            problems.append(
+                f"{name}: {key} must be true/false/none, got {raw!r}"
+            )
+    if not fields.get("found-by"):
+        problems.append(
+            f"{name}: missing 'found-by' (which tool minted this?)"
+        )
+    body = "\n".join(
+        line for line in lines if not line.startswith("#")
+    ).strip()
+    if not body:
+        problems.append(f"{name}: no manifest body after the header")
+    return problems
 
 
 def format_reproducer(

@@ -1,0 +1,17 @@
+"""Suite-wide configuration.
+
+The only hook here delegates to the results-recording plugin, which
+stays dormant unless ``REHEARSAL_RESULTS_DB`` points at a database
+(see ``src/repro/testing/orchestrate/pytest_plugin.py``).  CI exports
+the variable so every run lands in the uploaded results artifact;
+local runs pay nothing.
+"""
+
+import os
+
+
+def pytest_configure(config):
+    if os.environ.get("REHEARSAL_RESULTS_DB"):
+        from repro.testing.orchestrate import pytest_plugin
+
+        pytest_plugin.install(config)

@@ -1,0 +1,166 @@
+"""HTML/SVG rendering of the results DB and the import DAG."""
+
+from pathlib import Path
+
+from repro.core.cli import main as cli_main
+from repro.testing.orchestrate.report import (
+    DAG_NAME,
+    REPORT_NAME,
+    render_dag,
+    render_html,
+    sparkline,
+    write_report,
+)
+from repro.testing.orchestrate.resultsdb import ResultsDB
+from repro.testing.orchestrate.resultsdb import TestResult as Result
+from repro.testing.orchestrate.testmap import TestMap as Map
+
+
+def tiny_map() -> Map:
+    return Map(
+        fingerprints={},
+        modules={
+            "pkg": {"path": "src/pkg/__init__.py", "deps": []},
+            "pkg.core": {"path": "src/pkg/core.py", "deps": ["pkg"]},
+            "pkg.extra": {
+                "path": "src/pkg/extra.py",
+                "deps": ["pkg", "pkg.core"],
+            },
+        },
+        tests={
+            "tests/test_core.py": {
+                "deps": ["pkg.core"],
+                "dynamic": False,
+            },
+            "tests/test_extra.py": {
+                "deps": ["pkg.extra"],
+                "dynamic": False,
+            },
+        },
+        conftests=["tests/conftest.py"],
+        global_modules=["pkg"],
+        module_tests={
+            "pkg": ["tests/test_core.py", "tests/test_extra.py"],
+            "pkg.core": ["tests/test_core.py", "tests/test_extra.py"],
+            "pkg.extra": ["tests/test_extra.py"],
+        },
+    )
+
+
+def seeded_db(path) -> ResultsDB:
+    db = ResultsDB(path)
+    for i, run_id in enumerate(["run-a", "run-b"]):
+        db.begin_run(run_id, started_at=1000.0 + i)
+        db.record(
+            run_id,
+            Result(
+                nodeid="tests/test_core.py::test_one",
+                outcome="passed",
+                duration=0.5 + i,
+                seed="7",
+            ),
+        )
+        db.record(
+            run_id,
+            Result(
+                nodeid="tests/test_extra.py::test_two",
+                outcome="failed" if i else "passed",
+                duration=0.25,
+            ),
+        )
+        db.finish_run(run_id, int(bool(i)), finished_at=1005.0 + i)
+    return db
+
+
+class TestSparkline:
+    def test_empty_series_renders_a_dash(self):
+        assert "svg" not in sparkline([])
+
+    def test_series_renders_polyline_and_last_value(self):
+        svg = sparkline([1.0, 2.0, 3.0])
+        assert "<polyline" in svg
+        assert "3.00s" in svg
+
+
+class TestHtml:
+    def test_report_mentions_runs_modules_and_seeds(self, tmp_path):
+        with seeded_db(tmp_path / "r.sqlite") as db:
+            html = render_html(db, tiny_map())
+        assert "run-a" in html and "run-b" in html
+        assert "tests/test_core.py" in html
+        assert "<polyline" in html  # the duration trend
+        assert ">7<" in html  # recorded seed of the slowest test
+        assert DAG_NAME in html  # link to the DAG
+
+    def test_empty_db_renders_without_results(self, tmp_path):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            html = render_html(db)
+        assert "no runs recorded" in html
+
+
+class TestDag:
+    def test_dag_has_every_node_and_marks_conftest_deps(self):
+        svg = render_dag(tiny_map())
+        assert svg.startswith("<svg")
+        for label in ("pkg.core", "pkg.extra", "test_core.py"):
+            assert label in svg
+        # 'pkg' is a conftest dependency: outlined as full-suite
+        # trigger.
+        assert "stroke-width=\"1.5\"" in svg
+
+    def test_deeper_importers_sit_above_their_deps(self):
+        svg = render_dag(tiny_map())
+        # Crude but effective: pkg.extra (depth 2) is drawn at a
+        # smaller y than pkg (depth 0, bottom layer).
+        def node_y(title):
+            anchor = svg.index(f"<title>{title}</title>")
+            start = svg.rindex("<rect", 0, anchor)
+            return float(
+                svg[start:anchor].split('y="')[1].split('"')[0]
+            )
+
+        assert node_y("pkg.extra") < node_y("pkg")
+        assert node_y("tests/test_extra.py") < node_y("pkg.extra")
+
+
+class TestWriteReport:
+    def test_writes_index_and_dag(self, tmp_path):
+        seeded_db(tmp_path / "r.sqlite").close()
+        map_path = tmp_path / "map.json"
+        Map.save(tiny_map(), map_path)
+        written = write_report(
+            tmp_path / "r.sqlite", tmp_path / "out", map_path=map_path
+        )
+        names = sorted(p.name for p in written)
+        assert names == sorted([REPORT_NAME, DAG_NAME])
+        assert (tmp_path / "out" / DAG_NAME).stat().st_size > 0
+
+    def test_missing_map_skips_the_dag(self, tmp_path):
+        seeded_db(tmp_path / "r.sqlite").close()
+        written = write_report(
+            tmp_path / "r.sqlite",
+            tmp_path / "out",
+            map_path=tmp_path / "absent.json",
+        )
+        assert [p.name for p in written] == [REPORT_NAME]
+
+    def test_cli_testreport_renders_artifacts(self, tmp_path, capsys):
+        seeded_db(tmp_path / "r.sqlite").close()
+        map_path = tmp_path / "map.json"
+        Map.save(tiny_map(), map_path)
+        code = cli_main(
+            [
+                "testreport",
+                "--db",
+                str(tmp_path / "r.sqlite"),
+                "--out",
+                str(tmp_path / "out"),
+                "--map",
+                str(map_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert REPORT_NAME in out and DAG_NAME in out
+        index = (tmp_path / "out" / REPORT_NAME).read_text()
+        assert "rehearsal test report" in index

@@ -1,0 +1,239 @@
+"""The SQLite results store: round-trips, concurrency, the plugin."""
+
+import os
+import sqlite3
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.testing.orchestrate.resultsdb import (
+    ResultsDB,
+    default_run_id,
+)
+from repro.testing.orchestrate.resultsdb import TestResult as Result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_result(i, outcome="passed", seed=None):
+    return Result(
+        nodeid=f"tests/test_mod.py::test_case_{i}",
+        outcome=outcome,
+        duration=0.01 * (i + 1),
+        seed=seed,
+    )
+
+
+class TestRoundTrip:
+    def test_run_and_results_round_trip(self, tmp_path):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            db.begin_run("run-1", argv=["-q"], started_at=1000.0)
+            db.record("run-1", make_result(0))
+            db.record("run-1", make_result(1, outcome="failed"))
+            db.record("run-1", make_result(2, outcome="skipped"))
+            db.finish_run("run-1", 1, finished_at=1010.0)
+            (summary,) = db.runs()
+            assert summary.run_id == "run-1"
+            assert (summary.total, summary.passed) == (3, 1)
+            assert (summary.failed, summary.skipped) == (1, 1)
+            assert summary.exit_status == 1
+            results = db.results_for_run("run-1")
+            # results_for_run orders by nodeid: case_0/1/2.
+            assert [r.outcome for r in results] == [
+                "passed",
+                "failed",
+                "skipped",
+            ]
+            assert results[0].module == "tests/test_mod.py"
+
+    def test_rerecording_a_nodeid_replaces_not_duplicates(
+        self, tmp_path
+    ):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            db.begin_run("run-1")
+            db.record("run-1", make_result(0, outcome="failed"))
+            db.record("run-1", make_result(0, outcome="passed"))
+            results = db.results_for_run("run-1")
+            assert len(results) == 1
+            assert results[0].outcome == "passed"
+
+    def test_seed_round_trips(self, tmp_path):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            db.begin_run("run-1")
+            db.record("run-1", make_result(0, seed="42"))
+            assert db.results_for_run("run-1")[0].seed == "42"
+
+    def test_module_durations_series_per_run(self, tmp_path):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            for i, run_id in enumerate(["a", "b"]):
+                db.begin_run(run_id, started_at=1000.0 + i)
+                db.record(run_id, make_result(i))
+            series = db.module_durations()
+            assert series["tests/test_mod.py"] == [
+                pytest.approx(0.01),
+                pytest.approx(0.02),
+            ]
+
+    def test_slowest_tests_ordering(self, tmp_path):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            db.begin_run("run-1")
+            for i in range(5):
+                db.record("run-1", make_result(i))
+            slowest = db.slowest_tests("run-1", limit=2)
+            assert [r.nodeid for r in slowest] == [
+                "tests/test_mod.py::test_case_4",
+                "tests/test_mod.py::test_case_3",
+            ]
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        ResultsDB(path).close()
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="schema 999"):
+            ResultsDB(path)
+
+    def test_default_run_id_embeds_the_pid(self):
+        assert str(os.getpid()) in default_run_id()
+
+
+class TestConcurrentWriters:
+    def test_parallel_connections_lose_nothing(self, tmp_path):
+        """xdist-style parallelism: every worker has its own
+        connection to the same file; WAL + retry must serialize them
+        without dropping rows."""
+        path = tmp_path / "r.sqlite"
+        ResultsDB(path).begin_run("run-1")
+        workers, per_worker = 8, 40
+        errors = []
+
+        def worker(worker_id):
+            try:
+                with ResultsDB(path) as db:
+                    for i in range(per_worker):
+                        db.record(
+                            "run-1",
+                            Result(
+                                nodeid=(
+                                    f"tests/test_w{worker_id}.py::"
+                                    f"test_{i}"
+                                ),
+                                outcome="passed",
+                                duration=0.001,
+                            ),
+                        )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,))
+            for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with ResultsDB(path) as db:
+            assert len(db.results_for_run("run-1")) == (
+                workers * per_worker
+            )
+
+
+class TestPytestPlugin:
+    def run_pytest(self, tmp_path, test_body, extra_env=None):
+        test_file = tmp_path / "test_sample.py"
+        test_file.write_text(test_body, encoding="utf8")
+        env = dict(os.environ)
+        env["REHEARSAL_RESULTS_DB"] = str(tmp_path / "r.sqlite")
+        env["REHEARSAL_RUN_ID"] = "plugin-run"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.update(extra_env or {})
+        return subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "repro.testing.orchestrate.pytest_plugin",
+                str(test_file),
+            ],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+
+    def test_outcomes_seeds_and_run_row_are_recorded(self, tmp_path):
+        proc = self.run_pytest(
+            tmp_path,
+            "import pytest\n"
+            "def test_ok(record_property):\n"
+            "    record_property('seed', 99)\n"
+            "def test_bad():\n"
+            "    assert False\n"
+            "@pytest.mark.skip(reason='x')\n"
+            "def test_skipped():\n"
+            "    pass\n",
+        )
+        assert proc.returncode == 1, proc.stderr
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            (summary,) = db.runs()
+            assert summary.run_id == "plugin-run"
+            assert summary.exit_status == 1
+            by_node = {
+                r.nodeid.split("::")[-1]: r
+                for r in db.results_for_run("plugin-run")
+            }
+            assert by_node["test_ok"].outcome == "passed"
+            assert by_node["test_ok"].seed == "99"
+            assert by_node["test_bad"].outcome == "failed"
+            assert by_node["test_skipped"].outcome == "skipped"
+
+    def test_xdist_worker_reuses_the_controller_run(self, tmp_path):
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            db.begin_run("plugin-run", started_at=1.0)
+        proc = self.run_pytest(
+            tmp_path,
+            "def test_ok():\n    pass\n",
+            extra_env={"PYTEST_XDIST_WORKER": "gw0"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        with ResultsDB(tmp_path / "r.sqlite") as db:
+            (summary,) = db.runs()  # no second runs row minted
+            assert summary.started_at == 1.0
+            assert len(db.results_for_run("plugin-run")) == 1
+
+    def test_plugin_is_inert_without_the_env_var(self, tmp_path):
+        test_file = tmp_path / "test_sample.py"
+        test_file.write_text("def test_ok():\n    pass\n")
+        env = dict(os.environ)
+        env.pop("REHEARSAL_RESULTS_DB", None)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "repro.testing.orchestrate.pytest_plugin",
+                str(test_file),
+            ],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert not (tmp_path / "r.sqlite").exists()

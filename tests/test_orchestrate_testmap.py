@@ -1,0 +1,298 @@
+"""Dependency-aware test selection: scanner, map, selector, drift.
+
+Two layers: synthetic throwaway projects exercise the scanner and the
+selection rules in isolation; the real-repo tests pin the acceptance
+contract — the committed ``tests/testmap.json`` is fresh, and editing
+the shrinker selects a small sound subset of the suite.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing.orchestrate import testmap as tm
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+MAP_PATH = REPO_ROOT / "tests" / "testmap.json"
+
+
+def write_project(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf8")
+
+
+BASE_PROJECT = {
+    "src/pkg/__init__.py": "",
+    "src/pkg/core.py": "VALUE = 1\n",
+    "src/pkg/extra.py": "from pkg import core\n",
+    "src/pkg/leaf.py": "LEAF = True\n",
+    "tests/test_core.py": "import pkg.core\n",
+    "tests/test_extra.py": "import pkg.extra\n",
+    "tests/conftest.py": "",
+}
+
+
+@pytest.fixture
+def project(tmp_path):
+    write_project(tmp_path, BASE_PROJECT)
+    return tmp_path
+
+
+class TestScanner:
+    def test_import_forms(self):
+        scan = tm.scan_source(
+            "src/x.py",
+            "import a.b\n"
+            "from c import d, e\n"
+            "def f():\n"
+            "    from .g import h\n"
+            "import importlib\n"
+            "importlib.import_module('i.j')\n",
+        )
+        assert ("import", "a.b") in scan.specs
+        assert ("from", 0, "c", ("d", "e")) in scan.specs
+        assert ("from", 1, "g", ("h",)) in scan.specs
+        assert ("import", "i.j") in scan.specs
+        assert not scan.dynamic
+
+    def test_non_constant_import_is_dynamic(self):
+        scan = tm.scan_source(
+            "src/x.py", "import importlib\nimportlib.import_module(n)\n"
+        )
+        assert scan.dynamic
+
+    def test_lazy_exports_table_clears_dynamic(self):
+        scan = tm.scan_source(
+            "src/pkg/__init__.py",
+            "from importlib import import_module\n"
+            '_LAZY_EXPORTS = {"Thing": "pkg.impl"}\n'
+            "def __getattr__(name):\n"
+            "    return import_module(_LAZY_EXPORTS[name])\n",
+        )
+        assert not scan.dynamic
+        assert scan.lazy_exports == (("Thing", "pkg.impl"),)
+
+    def test_unparseable_file_scans_as_dynamic(self):
+        scan = tm.scan_source("src/x.py", "def broken(:\n")
+        assert scan.dynamic and scan.parse_error
+
+    def test_fingerprint_ignores_body_edits(self):
+        before = tm.scan_source("src/x.py", "import a\nVALUE = 1\n")
+        after = tm.scan_source(
+            "src/x.py", "import a\n\nVALUE = 2  # reworded\n"
+        )
+        drifted = tm.scan_source("src/x.py", "import a, b\nVALUE = 1\n")
+        assert before.fingerprint == after.fingerprint
+        assert before.fingerprint != drifted.fingerprint
+
+
+class TestBuildMap:
+    def test_every_importing_test_is_mapped(self, project):
+        built = tm.build_map(project)
+        # test_extra reaches pkg.core only transitively (via
+        # pkg.extra); map correctness demands it still be selected
+        # when core changes.
+        assert built.module_tests["pkg.core"] == [
+            "tests/test_core.py",
+            "tests/test_extra.py",
+        ]
+        assert built.module_tests["pkg.extra"] == [
+            "tests/test_extra.py",
+        ]
+        assert built.module_tests["pkg.leaf"] == []
+        # Parent-package semantics: importing pkg.core executes
+        # pkg/__init__, so the package maps to both tests too.
+        assert built.module_tests["pkg"] == [
+            "tests/test_core.py",
+            "tests/test_extra.py",
+        ]
+
+    def test_lazy_exports_resolve_to_defining_module(self, tmp_path):
+        write_project(
+            tmp_path,
+            {
+                "src/lazy/__init__.py": (
+                    "from importlib import import_module\n"
+                    '_LAZY_EXPORTS = {"Thing": "lazy.impl"}\n'
+                ),
+                "src/lazy/impl.py": "class Thing: pass\n",
+                "src/lazy/other.py": "OTHER = 1\n",
+                "tests/test_lazy.py": "from lazy import Thing\n",
+            },
+        )
+        built = tm.build_map(tmp_path)
+        assert built.module_tests["lazy.impl"] == ["tests/test_lazy.py"]
+        assert built.module_tests["lazy.other"] == []
+
+    def test_dynamic_test_depends_on_everything(self, project):
+        write_project(
+            project,
+            {"tests/test_dyn.py": "__import__(__name__)\n"},
+        )
+        built = tm.build_map(project)
+        for module in built.modules:
+            assert "tests/test_dyn.py" in built.module_tests[module]
+
+    def test_conftest_deps_become_global(self, project):
+        write_project(
+            project, {"tests/conftest.py": "import pkg.leaf\n"}
+        )
+        built = tm.build_map(project)
+        assert "pkg.leaf" in built.global_modules
+
+    def test_roundtrip_through_json(self, project, tmp_path):
+        built = tm.build_map(project)
+        path = tmp_path / "map.json"
+        built.save(path)
+        assert tm.TestMap.load(path).to_dict() == built.to_dict()
+
+
+class TestSelect:
+    def fresh(self, project):
+        return tm.build_map(project)
+
+    def test_change_selects_exactly_the_importing_tests(self, project):
+        built = self.fresh(project)
+        selection = tm.select(built, project, ["src/pkg/core.py"])
+        assert selection.mode == "subset"
+        assert selection.tests == [
+            "tests/test_core.py",
+            "tests/test_extra.py",
+        ]
+        narrower = tm.select(built, project, ["src/pkg/extra.py"])
+        assert narrower.tests == ["tests/test_extra.py"]
+
+    def test_changed_test_file_selects_itself(self, project):
+        built = self.fresh(project)
+        selection = tm.select(built, project, ["tests/test_core.py"])
+        assert selection.tests == ["tests/test_core.py"]
+
+    def test_conftest_edit_falls_back_to_full(self, project):
+        built = self.fresh(project)
+        selection = tm.select(built, project, ["tests/conftest.py"])
+        assert selection.mode == "full"
+        assert any("conftest" in r for r in selection.reasons)
+
+    def test_global_module_falls_back_to_full(self, project):
+        write_project(
+            project, {"tests/conftest.py": "import pkg.leaf\n"}
+        )
+        built = self.fresh(project)
+        selection = tm.select(built, project, ["src/pkg/leaf.py"])
+        assert selection.mode == "full"
+        assert any("conftest dependency" in r for r in selection.reasons)
+
+    def test_unmapped_file_falls_back_to_full(self, project):
+        built = self.fresh(project)
+        selection = tm.select(built, project, ["data/blob.bin"])
+        assert selection.mode == "full"
+        assert any("unmapped" in r for r in selection.reasons)
+
+    def test_import_drift_makes_the_map_stale(self, project):
+        built = self.fresh(project)
+        write_project(
+            project, {"tests/test_core.py": "import pkg.extra\n"}
+        )
+        selection = tm.select(built, project, ["src/pkg/leaf.py"])
+        assert selection.mode == "full"
+        assert any("stale" in r for r in selection.reasons)
+
+    def test_body_edit_keeps_the_map_fresh(self, project):
+        built = self.fresh(project)
+        write_project(
+            project,
+            {"src/pkg/core.py": "VALUE = 2\n\n\ndef helper():\n    pass\n"},
+        )
+        selection = tm.select(built, project, ["src/pkg/core.py"])
+        assert selection.mode == "subset"
+
+    def test_added_file_makes_the_map_stale(self, project):
+        built = self.fresh(project)
+        write_project(project, {"src/pkg/newmod.py": ""})
+        selection = tm.select(built, project, ["src/pkg/core.py"])
+        assert selection.mode == "full"
+        assert any("added" in r for r in selection.reasons)
+
+    def test_scanner_version_mismatch_is_stale(self, project):
+        built = self.fresh(project)
+        built.scanner_version = tm.SCANNER_VERSION - 1
+        selection = tm.select(built, project, ["src/pkg/core.py"])
+        assert selection.mode == "full"
+        assert any("scanner" in r for r in selection.reasons)
+
+    def test_inert_file_selects_nothing(self, project):
+        built = self.fresh(project)
+        selection = tm.select(built, project, [".gitignore"])
+        assert selection.mode == "subset"
+        assert selection.tests == []
+
+
+class TestCheckDrift:
+    def test_fresh_map_has_no_drift(self, project):
+        built = tm.build_map(project)
+        assert tm.check_drift(built, tm.build_map(project)) == []
+
+    def test_import_change_is_reported(self, project):
+        committed = tm.build_map(project)
+        write_project(
+            project, {"src/pkg/core.py": "from pkg import leaf\n"}
+        )
+        problems = tm.check_drift(committed, tm.build_map(project))
+        assert any("src/pkg/core.py" in p for p in problems)
+
+
+class TestCommittedMap:
+    """The acceptance contract against the real repository."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        assert MAP_PATH.is_file(), (
+            "tests/testmap.json is missing; run 'rehearsal testmap "
+            "build'"
+        )
+        return tm.TestMap.load(MAP_PATH)
+
+    def test_committed_map_is_fresh(self, committed):
+        fresh = tm.build_map(REPO_ROOT)
+        problems = tm.check_drift(committed, fresh)
+        assert not problems, (
+            "tests/testmap.json is stale — run 'rehearsal testmap "
+            f"build' and commit the result: {problems}"
+        )
+
+    def test_shrinker_edit_selects_a_small_subset(self, committed):
+        selection = tm.select(
+            committed, REPO_ROOT, ["src/repro/testing/shrink.py"]
+        )
+        assert selection.mode == "subset", selection.reasons
+        assert selection.selected_fraction <= 0.40
+        assert "tests/test_fuzz_differential.py" in selection.tests
+        assert "tests/test_regressions.py" in selection.tests
+
+    def test_docs_edit_selects_the_link_checker(self, committed):
+        selection = tm.select(committed, REPO_ROOT, ["README.md"])
+        assert selection.tests == [tm.DOCS_TEST]
+
+    def test_regression_corpus_edit_selects_the_replay_test(
+        self, committed
+    ):
+        selection = tm.select(
+            committed,
+            REPO_ROOT,
+            ["tests/regressions/clean-seed42-case16.pp"],
+        )
+        assert selection.tests == list(tm.REGRESSION_TESTS)
+
+    def test_map_edit_selects_this_file(self, committed):
+        selection = tm.select(
+            committed, REPO_ROOT, ["tests/testmap.json"]
+        )
+        assert selection.tests == list(tm.MAP_TESTS)
+
+    def test_conftest_edit_runs_everything(self, committed):
+        selection = tm.select(
+            committed, REPO_ROOT, ["tests/conftest.py"]
+        )
+        assert selection.mode == "full"

@@ -1,0 +1,153 @@
+"""ddmin edge cases for the fuzz shrinker (`repro.testing.shrink`).
+
+The shrinker's contract: given a case satisfying the predicate,
+return a no-larger case that still satisfies it — and never crash,
+even when candidate reductions break parsing or the predicate itself
+throws.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.puppet.parser import parse_manifest
+from repro.testing.generate import (
+    CaseGenerator,
+    GeneratedCase,
+    ResourceSpec,
+)
+from repro.testing.shrink import shrink_case
+
+
+def make_case(specs) -> GeneratedCase:
+    return GeneratedCase(
+        master_seed=0,
+        case_id=0,
+        case_seed=0,
+        bug="synthetic",
+        resources=list(specs),
+    )
+
+
+def file_spec(title, path, content="x", requires=()):
+    return ResourceSpec(
+        rtype="file",
+        title=title,
+        attributes=(("path", path), ("content", content)),
+        requires=tuple(requires),
+    )
+
+
+def shared_write_paths(case) -> bool:
+    """The structural classification the property test preserves: two
+    file resources manage the same path."""
+    paths = [
+        value
+        for spec in case.resources
+        if spec.rtype == "file"
+        for key, value in spec.attributes
+        if key == "path"
+    ]
+    return len(paths) != len(set(paths))
+
+
+class TestSingleResource:
+    def test_one_resource_catalog_is_already_minimal(self):
+        case = make_case([file_spec("a", "/tmp/a")])
+        shrunk, attempts = shrink_case(case, lambda c: True)
+        # _without_resource refuses to empty the catalog, and no edge
+        # or optional attribute exists to drop.
+        assert shrunk.resources == case.resources
+        assert attempts == 0
+
+    def test_one_resource_content_still_shrinks(self):
+        case = make_case([file_spec("a", "/tmp/a", content="abcdef")])
+        shrunk, _ = shrink_case(case, lambda c: True)
+        assert dict(shrunk.resources[0].attributes)["content"] == "a"
+
+
+class TestAlreadyMinimal:
+    def test_strict_predicate_returns_the_original(self):
+        case = make_case(
+            [
+                file_spec("a", "/tmp/shared"),
+                file_spec("b", "/tmp/shared"),
+            ]
+        )
+        shrunk, attempts = shrink_case(case, shared_write_paths)
+        assert len(shrunk.resources) == 2
+        assert shared_write_paths(shrunk)
+        assert attempts > 0  # it tried, nothing smaller reproduced
+
+    def test_attempt_budget_is_respected(self):
+        case = make_case(
+            [file_spec(f"r{i}", f"/tmp/{i}") for i in range(5)]
+        )
+        calls = []
+
+        def predicate(c):
+            calls.append(1)
+            return False
+
+        shrink_case(case, predicate, max_attempts=7)
+        assert len(calls) <= 7
+
+
+class TestHostilePredicates:
+    def test_raising_predicate_counts_as_not_reproducing(self):
+        case = make_case(
+            [file_spec("a", "/tmp/a"), file_spec("b", "/tmp/b")]
+        )
+
+        def explosive(c):
+            raise RuntimeError("toolchain crash on candidate")
+
+        shrunk, _ = shrink_case(case, explosive)
+        assert shrunk.resources == case.resources
+
+    def test_candidate_parse_errors_do_not_escape(self):
+        """A predicate that parses the candidate's printed source —
+        the shape every real fuzz predicate has.  Reductions that
+        somehow produce unparseable manifests must register as
+        non-reproducing, not crash the shrink."""
+        case = make_case(
+            [
+                file_spec("a", "/tmp/shared"),
+                file_spec("b", "/tmp/shared"),
+                file_spec("c", "/tmp/other"),
+            ]
+        )
+
+        def parsing_predicate(c):
+            parse_manifest(c.source)  # raises on a broken candidate
+            if len(c.resources) < 2:
+                raise ValueError("degenerate candidate")
+            return shared_write_paths(c)
+
+        shrunk, _ = shrink_case(case, parsing_predicate)
+        assert shared_write_paths(shrunk)
+        assert len(shrunk.resources) == 2  # 'c' was shed
+        parse_manifest(shrunk.source)
+
+
+class TestShrinkProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_shrunk_output_still_reproduces_the_classification(
+        self, seed
+    ):
+        """For generator-produced cases: whatever structural
+        classification held before shrinking holds after, and the
+        result never grew."""
+        case = CaseGenerator(seed).generate(0)
+        classification = shared_write_paths(case)
+
+        def predicate(c):
+            return shared_write_paths(c) == classification
+
+        shrunk, attempts = shrink_case(case, predicate)
+        assert shared_write_paths(shrunk) == classification
+        assert len(shrunk.resources) <= len(case.resources)
+        assert attempts <= 300
+        # The shrunk case still serializes to a parseable manifest —
+        # it has to, or it could never be committed as a reproducer.
+        parse_manifest(shrunk.source)

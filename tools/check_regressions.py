@@ -3,19 +3,32 @@
 
 Asserts, for every committed reproducer:
 
-1. it parses as a Puppet manifest;
-2. it carries the full machine-readable header (seed, case id,
-   generator version, disagreement kind, expected verdict — see
-   :mod:`repro.testing.regressions`);
-3. it is referenced by the replay test: the discovery the test
+1. its machine-readable header validates **field by field** (integer
+   seed / case id / generator version, a disagreement kind the
+   differential driver can actually emit, tristate expected verdicts,
+   a ``found-by`` attribution, a non-empty manifest body) — every
+   problem is reported with a per-field message, not just the first;
+2. it was minted under the *current* generator version, so its
+   seed/case-id still re-create the original catalog;
+3. it parses as a Puppet manifest;
+4. it is referenced by the replay test: the discovery the test
    parametrizes over must return exactly the files on disk, so a
-   reproducer can neither be skipped silently nor linger unreplayed.
+   reproducer can neither be skipped silently nor linger unreplayed;
+5. it carries a promotion record in ``promotions.json`` whose SHA-256
+   matches the file — pinned reproducers only enter through
+   ``rehearsal burnin``, and hand-edits after promotion invalidate
+   the record (re-burn-in to re-mint it).
+
+Quarantined reproducers (``tests/regressions/quarantine/``) get check
+1 only: they are candidates, not yet replayed or promoted, but a
+malformed candidate should fail CI before burn-in trips over it.
 
 Exit codes: 0 — corpus is sound; 1 — a check failed.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -24,13 +37,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.puppet.parser import parse_manifest  # noqa: E402
 from repro.testing.generate import GENERATOR_VERSION  # noqa: E402
+from repro.testing.orchestrate.burnin import (  # noqa: E402
+    LEDGER_NAME,
+    file_sha256,
+    load_ledger,
+)
 from repro.testing.regressions import (  # noqa: E402
-    RegressionFormatError,
     discover,
     parse_header,
+    validate_header,
 )
 
 REGRESSION_DIR = REPO_ROOT / "tests" / "regressions"
+QUARANTINE_DIR = REGRESSION_DIR / "quarantine"
 REPLAY_TEST = REPO_ROOT / "tests" / "test_regressions.py"
 
 
@@ -52,6 +71,29 @@ def _replay_parametrization():
     if not isinstance(replayed, list):
         return None
     return set(replayed)
+
+
+def _promotion_index(failures):
+    """filename -> latest promotion record, from the ledger."""
+    ledger_path = REGRESSION_DIR / LEDGER_NAME
+    if not ledger_path.is_file():
+        failures.append(
+            f"no {LEDGER_NAME} ledger next to the pinned corpus; "
+            "pinned reproducers must enter through 'rehearsal burnin'"
+        )
+        return {}
+    try:
+        ledger = load_ledger(ledger_path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        failures.append(f"{LEDGER_NAME}: unreadable: {exc}")
+        return {}
+    index = {}
+    for i, record in enumerate(ledger["records"]):
+        if not isinstance(record, dict) or "file" not in record:
+            failures.append(f"{LEDGER_NAME}: record #{i} has no 'file'")
+            continue
+        index[record["file"]] = record  # later records win
+    return index
 
 
 def main() -> int:
@@ -82,13 +124,15 @@ def main() -> int:
                 f"not referenced by the replay test: {unreplayed}"
             )
 
+    promotions = _promotion_index(failures)
+
     for path in discovered:
         text = path.read_text(encoding="utf8")
-        try:
-            header = parse_header(text, path.name)
-        except RegressionFormatError as exc:
-            failures.append(str(exc))
+        problems = validate_header(text, path.name)
+        if problems:
+            failures.extend(problems)
             continue
+        header = parse_header(text, path.name)
         if header.generator_version != GENERATOR_VERSION:
             failures.append(
                 f"{path.name}: minted under generator "
@@ -103,11 +147,40 @@ def main() -> int:
         except Exception as exc:  # noqa: BLE001 — report, don't crash
             failures.append(f"{path.name}: does not parse: {exc}")
             continue
+        record = promotions.get(path.name)
+        if record is None:
+            if promotions:
+                failures.append(
+                    f"{path.name}: no promotion record in "
+                    f"{LEDGER_NAME}; run 'rehearsal burnin'"
+                )
+        elif record.get("decision") != "promoted":
+            failures.append(
+                f"{path.name}: latest ledger record says "
+                f"{record.get('decision')!r}, not 'promoted'"
+            )
+        elif record.get("sha256") != file_sha256(path):
+            failures.append(
+                f"{path.name}: content differs from its promotion "
+                "record (edited after burn-in?); re-run "
+                "'rehearsal burnin' to re-mint the record"
+            )
         print(
             f"ok: {path.name} (seed {header.seed}, case "
             f"{header.case_id}, {header.disagreement}, expected "
             f"deterministic={header.expected_deterministic})"
         )
+
+    if QUARANTINE_DIR.is_dir():
+        for path in discover(QUARANTINE_DIR):
+            problems = validate_header(
+                path.read_text(encoding="utf8"),
+                f"quarantine/{path.name}",
+            )
+            if problems:
+                failures.extend(problems)
+            else:
+                print(f"ok: quarantine/{path.name} (awaiting burn-in)")
 
     if failures:
         print(

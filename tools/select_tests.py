@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI shim: turn the PR's git diff into a minimal pytest invocation.
+
+Reads the changed-file list from ``git diff --name-only <base>...HEAD``
+(merge-base semantics, exactly what a PR job sees), feeds it through
+the committed test map (``rehearsal testmap select``), and prints
+**pytest path arguments** on stdout — one per line, suitable for
+
+.. code-block:: bash
+
+    python -m pytest $(python tools/select_tests.py --base origin/main)
+
+Soundness contract (inherited from
+:mod:`repro.testing.orchestrate.testmap`): whenever precision cannot
+be guaranteed — the map is stale, a conftest changed, the diff
+touches an unmapped file, or git/the map are unusable at all — the
+shim prints ``tests`` (the whole suite) and explains why on stderr.
+The full matrix on main/nightly stays authoritative regardless; this
+only trims PR feedback time.
+
+Exit codes: 0 — selection printed (full fallback included); 2 — bad
+invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.testing.orchestrate import testmap as tm  # noqa: E402
+
+
+def changed_files(base: str, root: Path) -> list:
+    output = subprocess.check_output(
+        ["git", "diff", "--name-only", f"{base}...HEAD"],
+        cwd=root,
+        text=True,
+        stderr=subprocess.PIPE,
+    )
+    return [line.strip() for line in output.splitlines() if line.strip()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base",
+        default="origin/main",
+        help="diff base ref (default: origin/main)",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(REPO_ROOT),
+        help="repository root (default: this checkout)",
+    )
+    parser.add_argument(
+        "--map",
+        default=tm.DEFAULT_MAP_PATH,
+        help=f"map file relative to --root (default: {tm.DEFAULT_MAP_PATH})",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+
+    def full(reason: str) -> int:
+        print(f"select_tests: full suite — {reason}", file=sys.stderr)
+        print("tests")
+        return 0
+
+    try:
+        changed = changed_files(args.base, root)
+    except (subprocess.CalledProcessError, OSError) as exc:
+        return full(f"cannot diff against {args.base!r}: {exc}")
+
+    if not changed:
+        return full(f"empty diff against {args.base!r} (rebase? merge?)")
+
+    map_path = root / args.map
+    if not map_path.is_file():
+        return full(f"no test map at {map_path}")
+    try:
+        test_map = tm.TestMap.load(map_path)
+    except (ValueError, OSError) as exc:
+        return full(f"unreadable test map: {exc}")
+
+    selection = tm.select(test_map, root, changed, map_path=args.map)
+    for reason in selection.reasons:
+        print(f"select_tests: {reason}", file=sys.stderr)
+    if selection.mode == "full":
+        print("tests")
+        return 0
+    print(
+        f"select_tests: {len(selection.tests)}/"
+        f"{selection.total_tests} test files "
+        f"({selection.selected_fraction:.1%}) for {len(changed)} "
+        "changed path(s)",
+        file=sys.stderr,
+    )
+    if not selection.tests:
+        # A provably-inert diff still runs one cheap smoke file so the
+        # required check reports a real pytest run, not a no-op.
+        print("select_tests: nothing mapped; running the smoke file",
+              file=sys.stderr)
+        print("tests/test_logic.py")
+        return 0
+    for test in selection.tests:
+        print(test)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
