@@ -37,6 +37,7 @@ from repro.bench.harness import (
     fig13_deterministic_rows,
     fig13_exploration_rows,
     fig13_rows,
+    portfolio_speedup_rows,
     render_rows,
     verdict_rows,
 )
@@ -149,6 +150,27 @@ def figure_specs(timeout: float, smoke: bool):
                     worker_counts=worker_counts, names=names
                 )
             ],
+        )
+    )
+    speedup_names = (
+        ("irc-nondet",)
+        if smoke
+        else (
+            "dns-nondet",
+            "irc-nondet",
+            "logstash-nondet",
+            "ntp-nondet",
+            "rsyslog-nondet",
+            "xinetd-nondet",
+        )
+    )
+    figures.append(
+        (
+            "portfolio-speedup",
+            f"Portfolio / cube speedup{subset} — determinacy check, "
+            "sequential vs. solver_workers=4 (see docs/solver.md)",
+            ["benchmark", "sequential", "4 workers", "speedup"],
+            lambda: portfolio_speedup_rows(names=speedup_names, workers=4),
         )
     )
     figures.append(

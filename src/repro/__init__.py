@@ -38,8 +38,10 @@ from importlib import import_module
 # cache), so the version must be bound before repro.service imports.
 # 1.3.0: race localization validates candidate pairs concretely on the
 # witness; 1.4.0: the static analyzer (repro.analysis.lint) ships and
-# verify-batch rows gain a lint block.
-__version__ = "1.4.0"
+# verify-batch rows gain a lint block; 1.5.0: the pluggable
+# SolverBackend layer (portfolio racing, cube-and-conquer, external
+# solvers) and verify-batch rows gain ``solver_backend``.
+__version__ = "1.5.0"
 
 #: name -> defining module.  A static literal on purpose: the import
 #: scanner behind `rehearsal testmap` parses this table to resolve
@@ -51,15 +53,20 @@ _LAZY_EXPORTS = {
     "DependencyCycleError": "repro.errors",
     "DeterminismOptions": "repro.analysis.determinism",
     "DeterminismResult": "repro.analysis.determinism",
+    "ExternalBackend": "repro.sat.external",
     "IdempotenceResult": "repro.analysis.idempotence",
     "ManifestResult": "repro.service",
+    "PortfolioBackend": "repro.sat.portfolio",
     "PuppetEvalError": "repro.errors",
     "PuppetSyntaxError": "repro.errors",
     "Rehearsal": "repro.core.pipeline",
     "ReproError": "repro.errors",
     "ResourceModelError": "repro.errors",
+    "SolverBackend": "repro.sat.backend",
+    "SolverConfig": "repro.sat.backend",
     "VerdictCache": "repro.service",
     "VerificationReport": "repro.core.pipeline",
+    "parse_backend_spec": "repro.sat.backend",
     "verify_batch": "repro.service",
 }
 

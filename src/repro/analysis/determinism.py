@@ -34,7 +34,7 @@ factorial order tree to the subset/state lattice.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -51,6 +51,8 @@ from repro.errors import AnalysisBudgetExceeded
 from repro.fs import FileSystem, eval_expr, seq
 from repro.fs import syntax as fx
 from repro.logic.terms import TermBank
+from repro.sat.backend import parse_backend_spec
+from repro.sat.cube import schedule, split_frontier
 from repro.smt.encoder import apply_expr
 from repro.smt.model import decode_filesystem
 from repro.smt.query import IncrementalQuery
@@ -91,6 +93,26 @@ class DeterminismOptions:
     max_branches: int = 5000
     timeout_seconds: Optional[float] = None
     max_conflicts: Optional[int] = None
+    #: SAT backend spec consumed by
+    #: :func:`repro.sat.backend.parse_backend_spec`: ``"cdcl"`` (the
+    #: pure-Python reference), ``"portfolio[:K]"`` (race K solver
+    #: configurations per query), or ``"external:auto|<name-or-path>"``
+    #: (a SAT-competition binary on PATH).  A plain string so options
+    #: stay picklable and hash into the verdict-cache key.
+    solver: str = "cdcl"
+    #: Portfolio size: with a value K > 1 (and ``solver="cdcl"``),
+    #: every SAT query races K diversified CDCL configurations with
+    #: deterministic first-answer-wins (lowest member index in the
+    #: earliest budget round) — see :mod:`repro.sat.portfolio`.
+    portfolio: int = 1
+    #: Cube-and-conquer width: with a value N > 1 the reachable-state
+    #: exploration runs in cube mode — finals race against the
+    #: canonical base order *as they are discovered*, stopping at the
+    #: first divergence, and graphs with a frontier above the
+    #: :data:`CUBE_POOL_GRAIN` threshold split the frontier into cubes
+    #: conquered across N workers (:mod:`repro.sat.cube`).  Also the
+    #: process-pool width for portfolio helper attempts.
+    solver_workers: int = 1
 
 
 @dataclass
@@ -189,62 +211,93 @@ class _Explorer:
         bank: TermBank,
         options: DeterminismOptions,
         deadline: Optional[float],
+        template: Optional["_Explorer"] = None,
     ):
         self.graph = graph
         self.programs = programs
         self.bank = bank
         self.options = options
         self.deadline = deadline
-        nodes = list(graph.nodes)
-        self.prints: Dict[NodeId, Footprint] = {
-            n: footprint(programs[n]) for n in nodes
-        }
-        self.commutes = commutativity_matrix(self.prints)
-        self.descendants: Dict[NodeId, frozenset] = {
-            n: frozenset(nx.descendants(graph, n)) for n in nodes
-        }
-        self.predecessors: Dict[NodeId, frozenset] = {
-            n: frozenset(graph.predecessors(n)) for n in nodes
-        }
-        self.sort_key: Dict[NodeId, str] = {n: str(n) for n in nodes}
+        if template is not None:
+            # A cube's sub-explorer shares the (read-only) per-graph
+            # precomputations instead of redoing the O(V·E) work.
+            self.prints = template.prints
+            self.commutes = template.commutes
+            self.descendants = template.descendants
+            self.predecessors = template.predecessors
+            self.sort_key = template.sort_key
+        else:
+            nodes = list(graph.nodes)
+            self.prints: Dict[NodeId, Footprint] = {
+                n: footprint(programs[n]) for n in nodes
+            }
+            self.commutes = commutativity_matrix(self.prints)
+            self.descendants: Dict[NodeId, frozenset] = {
+                n: frozenset(nx.descendants(graph, n)) for n in nodes
+            }
+            self.predecessors: Dict[NodeId, frozenset] = {
+                n: frozenset(graph.predecessors(n)) for n in nodes
+            }
+            self.sort_key: Dict[NodeId, str] = {
+                n: str(n) for n in nodes
+            }
         self.branches = 0
         self.memo_hits = 0
         self.states_merged = 0
+        self.explore_seconds = 0.0
         self.finals: List[Tuple[SymbolicState, List[NodeId]]] = []
 
-    def run(self, init: SymbolicState) -> None:
+    def run(
+        self,
+        init: SymbolicState,
+        remaining: Optional[frozenset] = None,
+        prefix: Tuple[NodeId, ...] = (),
+    ) -> None:
+        """Explore exhaustively (drains :meth:`walk`)."""
+        for _ in self.walk(init, remaining, prefix):
+            pass
+
+    def walk(
+        self,
+        init: SymbolicState,
+        remaining: Optional[frozenset] = None,
+        prefix: Tuple[NodeId, ...] = (),
+    ):
+        """Lazy exploration: a generator yielding each deduplicated
+        final ``(state, order)`` in DFS order, as it is discovered
+        (and appended to :attr:`finals`).  Cube mode consumes finals
+        eagerly — racing each against the base order while exploration
+        continues — which is why this is a generator and not a loop;
+        ``run`` drains it for the classic explore-then-solve shape.
+        Time between yields accrues to :attr:`explore_seconds`, so the
+        explore/solve split in the stats survives the interleaving.
+
+        ``remaining``/``prefix`` let a cube start below the root: the
+        sub-exploration behaves as if ``prefix`` was already applied
+        to reach ``init``.
+        """
         use_memo = self.options.use_memoization
         #: (frozenset(remaining), fingerprint) -> arrival count.  The
         #: first arrival enqueues the state; later ones only bump the
         #: counters.
         arrivals: Dict[tuple, int] = {}
-        root = frozenset(self.graph.nodes)
+        if remaining is None:
+            remaining = frozenset(self.graph.nodes)
         stack: List[Tuple[frozenset, SymbolicState, tuple]] = [
-            (root, init, ())
+            (remaining, init, tuple(prefix))
         ]
+        tick = time.perf_counter()
         while stack:
             remaining, state, order = stack.pop()
             if not remaining:
-                self.finals.append((state, list(order)))
+                final = (state, list(order))
+                self.finals.append(final)
+                self.explore_seconds += time.perf_counter() - tick
+                yield final
+                tick = time.perf_counter()
                 continue
             self._check_budget()
-            fringe = sorted(
-                (
-                    n
-                    for n in remaining
-                    if not (self.predecessors[n] & remaining)
-                ),
-                key=self.sort_key.__getitem__,
-            )
-            assert fringe, "resource graph has a cycle"
-            chosen: Optional[List[NodeId]] = None
-            if self.options.use_commutativity:
-                for n in fringe:
-                    if self._commutes_with_all(n, remaining):
-                        chosen = [n]
-                        break
-            if chosen is None:
-                chosen = fringe
+            chosen = self.frontier(remaining)
             pending = []
             for n in chosen:
                 self.branches += 1
@@ -267,6 +320,27 @@ class _Explorer:
             # Reversed push keeps pop order equal to the old recursive
             # DFS's, so finals[0] is the same base order as before.
             stack.extend(reversed(pending))
+        self.explore_seconds += time.perf_counter() - tick
+
+    def frontier(self, remaining: frozenset) -> List[NodeId]:
+        """The schedulable resources of ``remaining`` (no unsatisfied
+        predecessor), in canonical sorted order, after the Fig. 9a
+        commutativity reduction — the branching choices of one
+        expansion, and the cube split of the root."""
+        fringe = sorted(
+            (
+                n
+                for n in remaining
+                if not (self.predecessors[n] & remaining)
+            ),
+            key=self.sort_key.__getitem__,
+        )
+        assert fringe, "resource graph has a cycle"
+        if self.options.use_commutativity:
+            for n in fringe:
+                if self._commutes_with_all(n, remaining):
+                    return [n]
+        return fringe
 
     def _commutes_with_all(self, n: NodeId, remaining: frozenset) -> bool:
         """True when n commutes with every other remaining resource
@@ -389,10 +463,88 @@ def check_determinism(
     stats.modeled_paths = len(domains)
     init = initial_state(bank, domains)
 
-    explore_start = time.perf_counter()
     explorer = _Explorer(work_graph, work_programs, bank, options, deadline)
-    explorer.run(init)
-    stats.explore_seconds = time.perf_counter() - explore_start
+    backend = _backend_factory(options)
+
+    # All order-pair queries for this manifest share one incrementally
+    # reused solver: the initial-state constraints are asserted once,
+    # each pair's state difference is guarded by a selector variable,
+    # and every check retains the clauses (and learned clauses) of the
+    # previous ones.  Pairs are encoded lazily — a diverging pair ends
+    # the loop, and anything learned refuting earlier pairs carries
+    # over to later ones.
+    query: Optional[IncrementalQuery] = None
+    result = None
+    sat_index = None
+    sat_selector = None
+
+    def init_query() -> IncrementalQuery:
+        encode_start = time.perf_counter()
+        q = IncrementalQuery(bank, backend=backend)
+        q.assert_term(
+            initial_constraints(
+                bank, domains, well_formed=options.well_formed_initial
+            )
+        )
+        stats.encode_seconds += time.perf_counter() - encode_start
+        return q
+
+    eager_raced = False
+    if options.solver_workers > 1:
+        root = frozenset(work_graph.nodes)
+        choices = explorer.frontier(root)
+        if (
+            len(choices) > 1
+            and work_graph.number_of_nodes() >= CUBE_POOL_GRAIN
+        ):
+            # Coarse-grained graph: split the root frontier into cubes
+            # conquered across workers, then race the merged finals
+            # below exactly like the sequential path.
+            _conquer_cubes(explorer, init, root, choices, options)
+        else:
+            # Fine-grained graph (the common case): eager in-process
+            # cube mode.  Each final races against the canonical base
+            # order the moment exploration lands it, and the first
+            # divergence stops exploration — on nondeterministic
+            # manifests most of the state space is never walked.
+            # Discovery order equals the sequential DFS finals order,
+            # so the selector names, clause assertion order, and solver
+            # state at the first SAT are identical to the sequential
+            # backend's — which is why race localizations match
+            # byte-for-byte.
+            eager_raced = True
+            walk = explorer.walk(init)
+            base_state, base_order = next(walk)
+            for state_i, _order_i in walk:
+                i = len(explorer.finals) - 1
+                encode_start = time.perf_counter()
+                differ = states_differ(
+                    bank, state_i, base_state, domains.paths
+                )
+                if differ is bank.FALSE:
+                    stats.encode_seconds += (
+                        time.perf_counter() - encode_start
+                    )
+                    continue  # symbolically identical final states
+                if query is None:
+                    query = init_query()
+                selector = query.add_selector(f"pair${i}", differ)
+                stats.encode_seconds += time.perf_counter() - encode_start
+                result = query.check(
+                    assumptions=[selector],
+                    max_conflicts=options.max_conflicts,
+                )
+                stats.sat_queries += 1
+                if result.sat:
+                    sat_index = i
+                    sat_selector = selector
+                    break
+                if not result.core_lits:
+                    break
+    else:
+        explorer.run(init)
+
+    stats.explore_seconds = explorer.explore_seconds
     stats.branches_explored = explorer.branches
     stats.memo_hits = explorer.memo_hits
     stats.states_merged = explorer.states_merged
@@ -403,62 +555,45 @@ def check_determinism(
         stats.total_seconds = time.perf_counter() - start
         return DeterminismResult(True, stats)
 
-    encode_start = time.perf_counter()
-
-    # All order-pair queries for this manifest share one incrementally
-    # reused solver: the initial-state constraints are asserted once,
-    # each pair's state difference is guarded by a selector variable,
-    # and every check retains the clauses (and learned clauses) of the
-    # previous ones.  Pairs are encoded lazily — a diverging pair ends
-    # the loop, and anything learned refuting earlier pairs carries
-    # over to later ones.
     base_state, base_order = finals[0]
-    query = IncrementalQuery(bank)
-    query.assert_term(
-        initial_constraints(
-            bank, domains, well_formed=options.well_formed_initial
-        )
-    )
-    stats.encode_seconds = time.perf_counter() - encode_start
-
-    result = None
-    sat_index = None
-    sat_selector = None
-    for i in range(1, len(finals)):
-        if deadline is not None and time.perf_counter() > deadline:
-            raise AnalysisBudgetExceeded(
-                "determinism check timed out",
-                branches=explorer.branches,
-                wall_clock=True,
-                memo_hits=explorer.memo_hits,
-                states_merged=explorer.states_merged,
-            )
-        state_i, _ = finals[i]
-        encode_start = time.perf_counter()
-        differ = states_differ(bank, state_i, base_state, domains.paths)
-        if differ is bank.FALSE:
+    if not eager_raced:
+        query = init_query()
+        for i in range(1, len(finals)):
+            if deadline is not None and time.perf_counter() > deadline:
+                raise AnalysisBudgetExceeded(
+                    "determinism check timed out",
+                    branches=explorer.branches,
+                    wall_clock=True,
+                    memo_hits=explorer.memo_hits,
+                    states_merged=explorer.states_merged,
+                )
+            state_i, _ = finals[i]
+            encode_start = time.perf_counter()
+            differ = states_differ(bank, state_i, base_state, domains.paths)
+            if differ is bank.FALSE:
+                stats.encode_seconds += time.perf_counter() - encode_start
+                continue  # symbolically identical final states
+            selector = query.add_selector(f"pair${i}", differ)
             stats.encode_seconds += time.perf_counter() - encode_start
-            continue  # symbolically identical final states
-        selector = query.add_selector(f"pair${i}", differ)
-        stats.encode_seconds += time.perf_counter() - encode_start
-        result = query.check(
-            assumptions=[selector], max_conflicts=options.max_conflicts
-        )
-        stats.sat_queries += 1
-        if result.sat:
-            sat_index = i
-            sat_selector = selector
-            break
-        if not result.core_lits:
-            # The initial-state constraints alone are unsatisfiable:
-            # no pair can ever diverge, skip the remaining queries.
-            break
+            result = query.check(
+                assumptions=[selector], max_conflicts=options.max_conflicts
+            )
+            stats.sat_queries += 1
+            if result.sat:
+                sat_index = i
+                sat_selector = selector
+                break
+            if not result.core_lits:
+                # The initial-state constraints alone are unsatisfiable:
+                # no pair can ever diverge, skip the remaining queries.
+                break
 
-    stats.sat_vars = query.cnf.num_vars
-    stats.sat_clauses = len(query.cnf.clauses)
-    stats.solve_seconds = query.solve_seconds
-    stats.sat_conflicts = query.conflicts
-    stats.sat_decisions = query.decisions
+    if query is not None:
+        stats.sat_vars = query.cnf.num_vars
+        stats.sat_clauses = len(query.cnf.clauses)
+        stats.solve_seconds = query.solve_seconds
+        stats.sat_conflicts = query.conflicts
+        stats.sat_decisions = query.decisions
     stats.vars_eliminated = result.eliminated_vars if result else 0
     stats.total_seconds = time.perf_counter() - start
 
@@ -474,18 +609,9 @@ def check_determinism(
         # erroring on the witness state: the paper's "e1;e ≡ e2;e iff
         # e1 ≡ e2" step is incomplete for error-masking resources.
         # Re-check without elimination (sound and complete, slower).
-        fallback = DeterminismOptions(
-            use_commutativity=options.use_commutativity,
-            use_pruning=options.use_pruning,
-            use_elimination=False,
-            use_simplification=options.use_simplification,
-            use_memoization=options.use_memoization,
-            well_formed_initial=options.well_formed_initial,
-            lint_prefilter=options.lint_prefilter,
-            max_branches=options.max_branches,
-            timeout_seconds=options.timeout_seconds,
-            max_conflicts=options.max_conflicts,
-        )
+        # dataclasses.replace carries every other option — including
+        # the solver backend fields — unchanged.
+        fallback = replace(options, use_elimination=False)
         retry = check_determinism(graph, programs, fallback)
         retry.stats.elimination_fallback = True
         retry.stats.total_seconds += stats.total_seconds
@@ -524,6 +650,85 @@ def check_determinism(
         witness_outcomes=outcome_pair,
         race=race,
     )
+
+
+#: Pool cube mode needs coarse grain to pay for itself: below this
+#: many resources (post-elimination) the per-cube re-exploration of
+#: memo-shared subtrees costs more than the overlap buys, so cube mode
+#: uses the eager in-process scheduler instead.  Every §6 corpus
+#: manifest sits below this threshold.
+CUBE_POOL_GRAIN = 16
+
+
+def _backend_factory(options: DeterminismOptions):
+    """The ``backend=`` factory for this run's queries, or None for
+    the plain reference solver (zero indirection on the default
+    path)."""
+    if options.solver == "cdcl" and options.portfolio <= 1:
+        return None
+    return parse_backend_spec(
+        options.solver,
+        workers=options.solver_workers,
+        portfolio=options.portfolio,
+    )
+
+
+def _conquer_cubes(
+    explorer: _Explorer,
+    init: SymbolicState,
+    root: frozenset,
+    choices: Sequence[NodeId],
+    options: DeterminismOptions,
+) -> None:
+    """Cube-and-conquer exploration: one cube per root frontier
+    choice, each conquered by its own sub-explorer across
+    ``options.solver_workers`` workers (:func:`repro.sat.cube.schedule`
+    — results merged by cube index, so the outcome is independent of
+    scheduling).  Merged finals land on ``explorer`` deduplicated by
+    fingerprint in cube order, which reproduces the sequential DFS
+    finals order; effort counters are summed (cross-cube memo sharing
+    is lost, so ``branches_explored`` exceeds the sequential count —
+    the classic cube-and-conquer overlap tax)."""
+    bank = explorer.bank
+
+    def run_cube(cube):
+        sub = _Explorer(
+            explorer.graph,
+            explorer.programs,
+            bank,
+            options,
+            explorer.deadline,
+            template=explorer,
+        )
+        tick = time.perf_counter()
+        state = apply_expr(bank, init, explorer.programs[cube.choice])
+        sub.explore_seconds += time.perf_counter() - tick
+        sub.branches += 1
+        sub.run(
+            state,
+            remaining=root - {cube.choice},
+            prefix=(cube.choice,),
+        )
+        return sub
+
+    subs = schedule(
+        split_frontier(choices), run_cube, workers=options.solver_workers
+    )
+    seen = set()
+    merged: List[Tuple[SymbolicState, List[NodeId]]] = []
+    for sub in subs:
+        explorer.branches += sub.branches
+        explorer.memo_hits += sub.memo_hits
+        explorer.states_merged += sub.states_merged
+        explorer.explore_seconds += sub.explore_seconds
+        for state, order in sub.finals:
+            fingerprint = state.fingerprint()
+            if fingerprint in seen:
+                explorer.memo_hits += 1
+                continue
+            seen.add(fingerprint)
+            merged.append((state, order))
+    explorer.finals = merged
 
 
 def _unordered_pairs_commute(graph: "nx.DiGraph", matrix) -> bool:

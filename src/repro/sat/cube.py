@@ -1,0 +1,124 @@
+"""Cube-and-conquer scheduling primitives.
+
+Cube-and-conquer splits a search problem into *cubes* — disjoint
+sub-problems fixed by a prefix of choices — conquers each
+independently, and merges.  For Rehearsal the search space is the
+reachable-state DAG of :mod:`repro.analysis.determinism`: a cube is
+one choice of first resource at the exploration root, and conquering
+a cube explores its subtree and races its final states against the
+canonical base order.
+
+This module is deliberately generic (it knows nothing about symbolic
+states or resource graphs — the analysis layer owns that), so the
+scheduling policy stays small enough to reason about:
+
+* :func:`schedule` runs cube payloads **in index order** when
+  ``workers == 1`` and across a thread pool otherwise, but in both
+  cases the *answer* is chosen by cube index, never by completion
+  time — the merge of a parallel run is identical to the serial one;
+* :func:`merge_stats` sums the numeric fields of per-cube stats
+  dataclasses into one.
+
+Threads rather than processes: cube payloads close over the analysis
+session's term bank and solver, which are address-space objects with
+no useful pickled form.  Process-level parallelism lives one level up
+(the batch orchestrator fans manifests out over a process pool, and
+the portfolio backend races helper solvers over one), so cube
+scheduling targets the intra-manifest case where shared state is the
+point.  CPython's GIL caps the wall-clock win for pure-Python cube
+payloads; the ordering/merging guarantees are what the analysis layer
+actually buys here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclasses.dataclass(frozen=True)
+class Cube(Generic[T]):
+    """One sub-problem: the ``index`` fixes its merge priority (lower
+    wins ties), ``choice`` is the branching decision that defines it,
+    and ``prefix`` the decisions already applied above it."""
+
+    index: int
+    choice: T
+    prefix: Tuple[T, ...] = ()
+
+
+def split_frontier(
+    choices: Sequence[T], prefix: Sequence[T] = ()
+) -> List[Cube[T]]:
+    """One cube per frontier choice, in the given (deterministic)
+    order — the caller is expected to have sorted ``choices`` by its
+    canonical key already."""
+    pre = tuple(prefix)
+    return [Cube(i, choice, pre) for i, choice in enumerate(choices)]
+
+
+def schedule(
+    cubes: Sequence[Cube[T]],
+    run_one: Callable[[Cube[T]], R],
+    workers: int = 1,
+    stop_when: Optional[Callable[[R], bool]] = None,
+) -> List[R]:
+    """Conquer every cube; returns results in cube-index order.
+
+    ``stop_when(result)`` (optional) short-circuits: once the
+    lowest-indexed *remaining* cube's result satisfies it, higher
+    cubes are abandoned.  Crucially the check walks results in index
+    order even under a pool, so which cubes get cut off — and
+    therefore the returned list — does not depend on timing.
+
+    ``workers > 1`` runs payloads on a thread pool (see the module
+    docstring for why threads); a payload that raises propagates the
+    exception after the pool drains, exactly like the serial loop.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cubes = list(cubes)
+    if workers == 1 or len(cubes) <= 1:
+        results: List[R] = []
+        for cube in cubes:
+            result = run_one(cube)
+            results.append(result)
+            if stop_when is not None and stop_when(result):
+                break
+        return results
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(
+        max_workers=min(workers, len(cubes))
+    ) as pool:
+        futures = [pool.submit(run_one, cube) for cube in cubes]
+        results = []
+        stopped = False
+        for future in futures:
+            if stopped:
+                future.cancel()
+                continue
+            results.append(future.result())
+            if stop_when is not None and stop_when(results[-1]):
+                stopped = True
+    return results
+
+
+def merge_stats(parts: Sequence[object], into: object) -> object:
+    """Sum every numeric field of the per-cube stats dataclasses into
+    ``into`` (mutated and returned).  Booleans are OR-ed; other field
+    types are left to the caller."""
+    for part in parts:
+        for field in dataclasses.fields(part):
+            value = getattr(part, field.name)
+            if isinstance(value, bool):
+                if value:
+                    setattr(into, field.name, True)
+            elif isinstance(value, (int, float)):
+                setattr(
+                    into, field.name, getattr(into, field.name) + value
+                )
+    return into

@@ -19,11 +19,14 @@ from repro.core.pipeline import VerificationReport
 #: (``branches_explored``, ``memo_hits``, ``states_merged``,
 #: ``distinct_finals``).  Version 3: rows grew the per-manifest
 #: ``lint`` block (the static analyzer's verdict, rule counts and
-#: diagnostics — see :mod:`repro.analysis.lint`).  The version
+#: diagnostics — see :mod:`repro.analysis.lint`).  Version 4: rows
+#: grew ``solver_backend``, the backend label the verdict was computed
+#: under (``"cdcl"``, ``"portfolio:K[+cube:N]"``, ``"external:..."``
+#: — see :func:`repro.sat.backend.backend_label`).  The version
 #: participates in the verdict cache key
 #: (:func:`repro.service.cache.cache_key`), so entries written under
 #: an older schema rotate out instead of deserializing incompletely.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: ``ManifestResult.status`` values.
 STATUS_OK = "ok"  # verified: deterministic and idempotent
@@ -62,6 +65,11 @@ class ManifestResult:
     #: severity ``counts``, ``diagnostics`` and ``stats``.  ``None``
     #: when linting itself crashed (never blocks the verification row).
     lint: Optional[dict] = None
+    #: The SAT backend the verdict was computed under (schema v4):
+    #: :func:`repro.sat.backend.backend_label` of the run's options —
+    #: lets mixed-backend result sets (and cached rows) say which solve
+    #: path produced them.
+    solver_backend: str = "cdcl"
     sha256: str = ""
     cache_key: str = ""
     cached: bool = False

@@ -29,8 +29,9 @@ Two interfaces:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.logic.cnf import CNF, TseitinEncoder
 from repro.logic.terms import Term, TermBank
@@ -41,6 +42,29 @@ from repro.sat.solver import Solver
 #: pure-Python simplification passes cost more than the CDCL saves on
 #: instances this size (measured on the §6 corpus; see docs/solver.md).
 PREPROCESS_MIN_CLAUSES = 6000
+
+#: Sentinel distinguishing "caller did not pass the deprecated
+#: use_preprocessing= keyword" from an explicit None.
+_UNSET = object()
+
+
+def _resolve_preprocessing(preprocessing, use_preprocessing):
+    """Fold the deprecated ``use_preprocessing=`` spelling into the
+    canonical ``preprocessing=`` one (one release of compatibility)."""
+    if use_preprocessing is _UNSET:
+        return preprocessing
+    warnings.warn(
+        "the use_preprocessing= keyword is deprecated; "
+        "pass preprocessing= instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if preprocessing is not None:
+        raise TypeError(
+            "pass either preprocessing= or the deprecated "
+            "use_preprocessing=, not both"
+        )
+    return use_preprocessing
 
 
 @dataclass
@@ -67,17 +91,34 @@ class QueryResult:
 class Query:
     """A single satisfiability question over a term bank.
 
-    ``use_preprocessing`` — None (default) preprocesses only instances
+    ``preprocessing`` — None (default) preprocesses only instances
     with at least :data:`PREPROCESS_MIN_CLAUSES` clauses; True/False
-    force it on/off.
+    force it on/off.  (The old ``use_preprocessing=`` keyword still
+    works for one release, with a ``DeprecationWarning``.)
+
+    ``backend`` — a zero-argument factory producing the
+    :class:`repro.sat.backend.SolverBackend` each ``check`` solves on
+    (default: a fresh reference CDCL solver).
     """
 
     def __init__(
-        self, bank: TermBank, use_preprocessing: Optional[bool] = None
+        self,
+        bank: TermBank,
+        preprocessing: Optional[bool] = None,
+        backend: Optional[Callable[[], "Solver"]] = None,
+        use_preprocessing=_UNSET,
     ):
         self.bank = bank
-        self.use_preprocessing = use_preprocessing
+        self.preprocessing = _resolve_preprocessing(
+            preprocessing, use_preprocessing
+        )
+        self.backend = backend
         self._assertions: list[Term] = []
+
+    @property
+    def use_preprocessing(self) -> Optional[bool]:
+        """Deprecated alias of :attr:`preprocessing`."""
+        return self.preprocessing
 
     def assert_term(self, term: Term) -> None:
         self._assertions.append(term)
@@ -93,7 +134,7 @@ class Query:
         root_lit = encoder.lit(formula)
         cnf.add([root_lit])
         start = time.perf_counter()
-        preprocessing = self.use_preprocessing
+        preprocessing = self.preprocessing
         if preprocessing is None:
             preprocessing = len(cnf.clauses) >= PREPROCESS_MIN_CLAUSES
         pre: Optional[Preprocessed] = None
@@ -111,7 +152,7 @@ class Query:
                     solve_seconds=time.perf_counter() - start,
                 )
             clauses = pre.clauses
-        solver = Solver()
+        solver = self.backend() if self.backend is not None else Solver()
         for clause in clauses:
             solver.add_clause(clause)
         result = solver.solve(max_conflicts=max_conflicts)
@@ -138,20 +179,34 @@ class Query:
 class IncrementalQuery:
     """Assumption-based incremental solving over one shared solver.
 
-    ``use_preprocessing`` — None (default) preprocesses only when the
+    ``preprocessing`` — None (default) preprocesses only when the
     clause database at the first ``check`` has at least
     :data:`PREPROCESS_MIN_CLAUSES` clauses; True/False force it.  The
-    cost is paid once and amortized over every later check.
+    cost is paid once and amortized over every later check.  (The old
+    ``use_preprocessing=`` keyword still works for one release, with a
+    ``DeprecationWarning``.)
+
+    ``backend`` — a zero-argument factory producing the
+    :class:`repro.sat.backend.SolverBackend` this query's lifetime of
+    checks runs on (default: the reference CDCL solver).  The backend
+    must be incremental: clauses and learned facts persist across
+    ``check`` calls.
     """
 
     def __init__(
-        self, bank: TermBank, use_preprocessing: Optional[bool] = None
+        self,
+        bank: TermBank,
+        preprocessing: Optional[bool] = None,
+        backend: Optional[Callable[[], "Solver"]] = None,
+        use_preprocessing=_UNSET,
     ):
         self.bank = bank
-        self.use_preprocessing = use_preprocessing
+        self.preprocessing = _resolve_preprocessing(
+            preprocessing, use_preprocessing
+        )
         self.cnf = CNF()
         self._encoder = TseitinEncoder(self.cnf)
-        self._solver = Solver()
+        self._solver = backend() if backend is not None else Solver()
         self._pre: Optional[Preprocessed] = None
         self._checked = False
         self._flushed = 0  # cnf.clauses already handed to the solver
@@ -166,6 +221,16 @@ class IncrementalQuery:
         #: conflicts.
         self.conflicts = 0
         self.decisions = 0
+
+    @property
+    def use_preprocessing(self) -> Optional[bool]:
+        """Deprecated alias of :attr:`preprocessing`."""
+        return self.preprocessing
+
+    @property
+    def solver(self):
+        """The live :class:`repro.sat.backend.SolverBackend` instance."""
+        return self._solver
 
     # -- building -----------------------------------------------------------
 
@@ -241,7 +306,7 @@ class IncrementalQuery:
     def _flush(self) -> None:
         if not self._checked:
             self._checked = True
-            preprocessing = self.use_preprocessing
+            preprocessing = self.preprocessing
             if preprocessing is None:
                 preprocessing = (
                     len(self.cnf.clauses) >= PREPROCESS_MIN_CLAUSES

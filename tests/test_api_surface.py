@@ -1,0 +1,57 @@
+"""The documented stable surface, `repro.__all__`, and the lazy-export
+table must agree — and every name must actually resolve."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+API_REFERENCE = Path(__file__).resolve().parents[1] / "docs" / "api-reference.md"
+
+
+def documented_surface():
+    """The bullet list under '## Stable surface' in api-reference.md."""
+    text = API_REFERENCE.read_text()
+    match = re.search(r"## Stable surface\n(.*?)\n## ", text, re.DOTALL)
+    assert match, "api-reference.md lost its '## Stable surface' section"
+    return set(re.findall(r"^- `([A-Za-z_][A-Za-z0-9_]*)`", match.group(1), re.M))
+
+
+class TestStableSurface:
+    def test_docs_match_dunder_all(self):
+        documented = documented_surface()
+        exported = set(repro.__all__)
+        assert documented == exported, (
+            "docs/api-reference.md 'Stable surface' and repro.__all__ "
+            f"disagree: only in docs {sorted(documented - exported)}, "
+            f"only in __all__ {sorted(exported - documented)}"
+        )
+
+    def test_dunder_all_matches_lazy_exports(self):
+        assert set(repro.__all__) == set(repro._LAZY_EXPORTS) | {"__version__"}
+        assert repro.__all__ == sorted(repro._LAZY_EXPORTS) + ["__version__"]
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_lazy_targets_define_their_names(self):
+        """Each export must live in the module the table claims — the
+        contract the testmap import scanner relies on."""
+        import importlib
+
+        for name, target in repro._LAZY_EXPORTS.items():
+            module = importlib.import_module(target)
+            assert hasattr(module, name), f"{target} does not define {name}"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_export
+
+    def test_submodule_access_still_works(self):
+        assert repro.corpus.BENCHMARK_NAMES
+
+    def test_version_shape(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)

@@ -1,0 +1,137 @@
+"""The parallel-solving CLI surface: flag validation (exit 2 before
+any work), end-to-end runs under the portfolio and cube backends, and
+the JSON row's backend label."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main as cli_main
+
+GOOD = """
+file {"/etc/app.conf": content => "x" }
+"""
+
+NONDET = """
+file {"/etc/ntp.conf": content => "server pool.example.org" }
+package {"ntp": ensure => present }
+"""
+
+
+@pytest.fixture
+def manifest(tmp_path):
+    path = tmp_path / "site.pp"
+    path.write_text(NONDET)
+    return path
+
+
+class TestFlagValidation:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--portfolio", "0"),
+            ("--portfolio", "-3"),
+            ("--solver-workers", "0"),
+            ("--solver-workers", "-1"),
+            ("--solver", "dpll"),
+            ("--solver", "portfolio:nope"),
+        ],
+    )
+    def test_verify_rejects_bad_values(self, manifest, flags, capsys):
+        assert cli_main(["verify", str(manifest), *flags]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--portfolio", "0"),
+            ("--solver-workers", "0"),
+            ("--solver", "dpll"),
+        ],
+    )
+    def test_verify_batch_rejects_bad_values(self, tmp_path, flags, capsys):
+        (tmp_path / "good.pp").write_text(GOOD)
+        code = cli_main(
+            ["verify-batch", str(tmp_path), "--no-cache", *flags]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_fuzz_rejects_bad_portfolio(self, capsys):
+        code = cli_main(
+            ["fuzz", "--seed", "1", "--cases", "1", "--portfolio", "0"]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_external_spec_without_solver_is_exit_2(
+        self, manifest, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("PATH", "")
+        code = cli_main(
+            ["verify", str(manifest), "--solver", "external:auto"]
+        )
+        assert code == 2
+        assert "kissat" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    def test_verify_portfolio_matches_sequential_verdict(
+        self, manifest, capsys
+    ):
+        sequential = cli_main(["verify", str(manifest)])
+        out_seq = capsys.readouterr().out
+        raced = cli_main(
+            [
+                "verify",
+                str(manifest),
+                "--portfolio",
+                "2",
+                "--solver-workers",
+                "2",
+            ]
+        )
+        out_par = capsys.readouterr().out
+        assert raced == sequential == 1
+        assert ("NON-DETERMINISTIC" in out_seq) == (
+            "NON-DETERMINISTIC" in out_par
+        )
+        assert "Race localized" in out_seq
+        assert "Race localized" in out_par
+
+    def test_batch_json_rows_name_the_backend(self, tmp_path, capsys):
+        (tmp_path / "good.pp").write_text(GOOD)
+        report_path = tmp_path / "report.json"
+        code = cli_main(
+            [
+                "verify-batch",
+                str(tmp_path / "good.pp"),
+                "--no-cache",
+                "--portfolio",
+                "2",
+                "--json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"] == 4
+        (row,) = report["results"]
+        assert row["solver_backend"] == "portfolio:2"
+
+    def test_fuzz_portfolio_smoke(self, capsys):
+        code = cli_main(
+            [
+                "fuzz",
+                "--seed",
+                "7",
+                "--cases",
+                "5",
+                "--quiet",
+                "--portfolio",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "no disagreements" in capsys.readouterr().out
