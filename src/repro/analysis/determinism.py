@@ -516,6 +516,18 @@ def check_determinism(
             walk = explorer.walk(init)
             base_state, base_order = next(walk)
             for state_i, _order_i in walk:
+                # walk() only re-checks the deadline at its next
+                # expansion; finals already sitting on the DFS stack
+                # would each get a full SAT query past the timeout
+                # without this check (mirrors the sequential loop).
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise AnalysisBudgetExceeded(
+                        "determinism check timed out",
+                        branches=explorer.branches,
+                        wall_clock=True,
+                        memo_hits=explorer.memo_hits,
+                        states_merged=explorer.states_merged,
+                    )
                 i = len(explorer.finals) - 1
                 encode_start = time.perf_counter()
                 differ = states_differ(

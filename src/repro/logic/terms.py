@@ -12,6 +12,7 @@ owned by their bank; identity comparison is valid within one bank.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
@@ -55,10 +56,18 @@ class TermBank:
     flatten nested same-kind nodes, drop units, short-circuit on
     dominators, and sort arguments for canonical form; double negation
     cancels.
+
+    Construction is thread-safe: interning serializes on a lock, so
+    concurrent builders (the cube sub-explorers of
+    :mod:`repro.analysis.determinism` share one bank across a thread
+    pool) can never mint two nodes for one structural key or reuse a
+    uid.  Everything else is reads of immutable nodes and needs no
+    locking.
     """
 
     def __init__(self) -> None:
         self._intern: Dict[tuple, Term] = {}
+        self._lock = threading.Lock()
         self._next_uid = 2
         self.TRUE = Term("true", uid=0)
         self.FALSE = Term("false", uid=1)
@@ -162,13 +171,20 @@ class TermBank:
     def _mk(
         self, key: tuple, kind: str, args: Tuple[Term, ...], name: str = ""
     ) -> Term:
+        # Lock-free fast path: hits are the common case and a dict read
+        # is atomic; the check-then-insert (and the uid bump) must be
+        # serialized or two threads can intern distinct twins.
         existing = self._intern.get(key)
         if existing is not None:
             return existing
-        t = Term(kind, args, name, uid=self._next_uid)
-        self._next_uid += 1
-        self._intern[key] = t
-        return t
+        with self._lock:
+            existing = self._intern.get(key)
+            if existing is not None:
+                return existing
+            t = Term(kind, args, name, uid=self._next_uid)
+            self._next_uid += 1
+            self._intern[key] = t
+            return t
 
     # -- inspection -----------------------------------------------------------
 

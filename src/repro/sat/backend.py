@@ -209,6 +209,22 @@ def make_solver(config: Optional[SolverConfig] = None) -> "SolverBackend":
     return Solver(config=config)
 
 
+#: K for a bare ``"portfolio"`` spec when no explicit size was given.
+DEFAULT_PORTFOLIO_K = 4
+
+
+def _effective_portfolio_k(portfolio: Optional[int]) -> int:
+    """The K a bare ``"portfolio"`` spec resolves to.  A ``portfolio``
+    argument of None *or 1* means unset — 1 is the CLI's no-racing
+    default, and an explicit portfolio spec with no racing is spelled
+    ``portfolio:1``.  :func:`parse_backend_spec` and
+    :func:`backend_label` share this rule so the label always names
+    the portfolio that actually runs."""
+    if portfolio is not None and portfolio > 1:
+        return portfolio
+    return DEFAULT_PORTFOLIO_K
+
+
 def parse_backend_spec(
     spec: str,
     workers: int = 1,
@@ -222,7 +238,9 @@ def parse_backend_spec(
       ``portfolio`` > 1, a :class:`PortfolioBackend` racing that many
       configurations);
     * ``"portfolio"`` or ``"portfolio:K"`` — explicit portfolio racing
-      (K defaults to 4, or to the ``portfolio`` argument);
+      (K defaults to 4, or to the ``portfolio`` argument when that
+      asks for racing, i.e. is > 1; ``portfolio:1`` spells a
+      single-member portfolio explicitly);
     * ``"external:auto"`` — the first SAT-competition solver found on
       PATH (kissat, cadical, minisat), raising ``ValueError`` when
       none is installed;
@@ -254,7 +272,7 @@ def parse_backend_spec(
                     "'portfolio:K' with integer K)"
                 ) from None
         else:
-            k = portfolio or 4
+            k = _effective_portfolio_k(portfolio)
         if k < 1:
             raise ValueError(f"portfolio size must be >= 1, got {k}")
         return _portfolio_factory(k, workers)
@@ -298,7 +316,7 @@ def backend_label(
     ``"portfolio:2+cube:4"``, ``"external:kissat"``."""
     head, _, arg = solver.partition(":")
     if head == "portfolio" and not arg:
-        label = f"portfolio:{portfolio if portfolio > 1 else 4}"
+        label = f"portfolio:{_effective_portfolio_k(portfolio)}"
     elif head == "cdcl" and portfolio > 1:
         label = f"portfolio:{portfolio}"
     else:

@@ -160,9 +160,17 @@ class PortfolioBackend:
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
     ) -> SolveResult:
+        """A caller ``max_conflicts`` is a budget on *total* portfolio
+        effort: reference conflicts and exhausted helper attempts both
+        charge against it, helper budgets are clamped to what remains,
+        and exhaustion raises :class:`SolverError` exactly like the
+        sequential backend (so budget semantics cannot diverge between
+        backends — the clamp is a pure function of the call history,
+        keeping results deterministic)."""
         assumptions = list(assumptions)
         budget = FIRST_ROUND_BUDGET
-        spent = 0  # reference conflicts charged to this call
+        spent = 0  # conflicts charged to this call, all members
+        helpers = len(self.configs) - 1
         while True:
             ref_budget = budget
             if max_conflicts is not None:
@@ -178,9 +186,18 @@ class PortfolioBackend:
                 if str(exc) != _BUDGET_MSG:
                     raise
                 spent += self._reference.conflicts - before
-            winner = self._race_helpers(assumptions, budget)
+            helper_budget = budget
+            if max_conflicts is not None:
+                remaining = max_conflicts - spent
+                if remaining <= 0:
+                    raise SolverError(_BUDGET_MSG)
+                helper_budget = min(budget, remaining)
+            winner = self._race_helpers(assumptions, helper_budget)
             if winner is not None:
                 return winner
+            # No helper finished, so each one burned its whole budget
+            # on a throwaway solver; charge that effort to the call.
+            spent += helper_budget * helpers
             if max_conflicts is not None and spent >= max_conflicts:
                 raise SolverError(_BUDGET_MSG)
             budget *= BUDGET_GROWTH

@@ -62,6 +62,48 @@ class TestConstruction:
         assert bank.iff(a, a) is bank.TRUE
 
 
+class TestThreadSafety:
+    def test_concurrent_interning_never_mints_twins(self):
+        """Cube sub-explorers build terms on one shared bank across a
+        thread pool; racing threads must still get pointer-equal terms
+        for structurally equal formulas and never duplicate a uid."""
+        import threading
+
+        bank = TermBank()
+        names = [f"v{i}" for i in range(12)]
+        barrier = threading.Barrier(4)
+        built = [[] for _ in range(4)]
+
+        def worker(slot):
+            rng = random.Random(slot)
+            barrier.wait()
+            for _ in range(300):
+                a = bank.var(rng.choice(names))
+                b = bank.var(rng.choice(names))
+                c = bank.var(rng.choice(names))
+                built[slot].append(
+                    bank.or_(bank.and_(a, b), bank.not_(c))
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Re-interning serially must return the exact objects the
+        # threads built (structural equality implies identity) ...
+        for terms in built:
+            for t in terms:
+                if t.kind == "or":
+                    assert bank.or_(*t.args) is t
+        # ... and every interned node got a distinct uid.
+        uids = [t.uid for t in bank._intern.values()]
+        assert len(uids) == len(set(uids))
+
+
 class TestEvaluate:
     def test_basic(self, bank):
         a, b = bank.var("a"), bank.var("b")

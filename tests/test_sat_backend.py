@@ -158,6 +158,17 @@ class TestParseBackendSpec:
     def test_bare_portfolio_takes_argument_default(self):
         assert len(parse_backend_spec("portfolio", portfolio=5)().configs) == 5
 
+    def test_bare_portfolio_treats_one_as_unset(self):
+        """The CLI's --portfolio default is 1 (no racing); an explicit
+        '--solver portfolio' must still build the documented 4-member
+        portfolio, matching what backend_label reports for the row."""
+        backend = parse_backend_spec("portfolio", portfolio=1)()
+        assert len(backend.configs) == 4
+        assert backend_label("portfolio", portfolio=1) == "portfolio:4"
+
+    def test_explicit_portfolio_one_is_single_member(self):
+        assert len(parse_backend_spec("portfolio:1")().configs) == 1
+
     @pytest.mark.parametrize(
         "spec",
         ["cdcl:9", "portfolio:x", "portfolio:0", "dpll", "external:/no/such/solver"],
@@ -289,6 +300,54 @@ class TestPortfolioBackend:
             backend.add_clause(clause)
         with pytest.raises(SolverError):
             backend.solve(max_conflicts=0)
+
+    def test_max_conflicts_bounds_total_portfolio_effort(self):
+        """When the reference member exhausts the caller's whole
+        max_conflicts budget, the backend must raise like the
+        sequential solver would — not hand helpers the full round
+        budget and answer anyway."""
+        clauses = random_instance(3, num_vars=12, num_clauses=50)
+        plain = Solver()
+        for clause in clauses:
+            plain.add_clause(clause)
+        try:
+            plain.solve(max_conflicts=1)
+        except SolverError:
+            pass
+        else:
+            pytest.skip("instance solved within one conflict")
+        backend = PortfolioBackend(default_portfolio(4))
+        for clause in clauses:
+            backend.add_clause(clause)
+        with pytest.raises(SolverError, match="budget"):
+            backend.solve(max_conflicts=1)
+
+    def test_helper_budget_clamped_to_remaining(self, monkeypatch):
+        """Helpers race only with whatever budget is left after the
+        reference's attempt, and exhausted helper rounds charge the
+        budget; with a tiny cap the call raises instead of burning
+        K * round-budget conflicts."""
+        monkeypatch.setattr(portfolio_mod, "FIRST_ROUND_BUDGET", 1)
+        seen_budgets = []
+        real_attempt = portfolio_mod._helper_attempt
+
+        def spy(config, clauses, num_vars, assumptions, budget):
+            seen_budgets.append(budget)
+            return real_attempt(
+                config, clauses, num_vars, assumptions, budget
+            )
+
+        monkeypatch.setattr(portfolio_mod, "_helper_attempt", spy)
+        clauses = random_instance(3, num_vars=12, num_clauses=50)
+        backend = PortfolioBackend(default_portfolio(3))
+        for clause in clauses:
+            backend.add_clause(clause)
+        cap = 5
+        try:
+            backend.solve(max_conflicts=cap)
+        except SolverError:
+            pass
+        assert all(b <= cap for b in seen_budgets)
 
 
 class TestParseSolverOutput:
