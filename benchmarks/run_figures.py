@@ -40,6 +40,7 @@ from repro.bench.harness import (
     portfolio_speedup_rows,
     render_rows,
     verdict_rows,
+    warm_reverify_rows,
 )
 
 SMOKE_NAMES = ("ntp-nondet", "ntp-fixed")
@@ -179,6 +180,17 @@ def figure_specs(timeout: float, smoke: bool):
             f"Verdict cache{subset} — cold vs. warm batch run",
             ["run", "time", "solver time"],
             lambda: batch_cache_rows(names=names),
+        )
+    )
+    figures.append(
+        (
+            "edit-latency",
+            "Edit latency — one-resource edit on a 50-file catalog: "
+            "from scratch, with a cold incremental store, and "
+            "re-verified against the hot store (see "
+            "docs/incremental.md)",
+            ["run", "time", "verdict"],
+            lambda: warm_reverify_rows(resources=50),
         )
     )
     return figures

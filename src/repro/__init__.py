@@ -41,7 +41,7 @@ from importlib import import_module
 # verify-batch rows gain a lint block; 1.5.0: the pluggable
 # SolverBackend layer (portfolio racing, cube-and-conquer, external
 # solvers) and verify-batch rows gain ``solver_backend``.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: name -> defining module.  A static literal on purpose: the import
 #: scanner behind `rehearsal testmap` parses this table to resolve

@@ -10,9 +10,14 @@ Two commands behind one ``rehearsal`` entry point (see setup.py
 * ``rehearsal verify-batch <dir-or-manifests...> [flags]`` — the batch
   service: fan a fleet of manifests out to worker processes behind the
   content-addressed verdict cache (:mod:`repro.service`).
+* ``rehearsal cache stats|clear|gc [--cache-dir DIR]`` — inspect and
+  manage both on-disk caches: the verdict cache and the incremental
+  store (:mod:`repro.service.incremental`); ``gc --max-bytes N``
+  evicts oldest-first until each fits the budget.
 * ``rehearsal cache-clear [--cache-dir DIR]`` — empty the verdict
   cache (entries keyed under old tool versions are unreachable and
-  only ever reclaimed here).
+  only ever reclaimed here); kept for compatibility, ``rehearsal
+  cache clear`` also sweeps the incremental store.
 * ``rehearsal solve <file.cnf>`` — run the SAT substrate (CNF
   preprocessing + CDCL) on a DIMACS instance, the standard way to
   debug the solving pipeline offline; ``--dump`` round-trips the
@@ -141,6 +146,21 @@ def _add_analysis_flags(parser: argparse.ArgumentParser) -> None:
         "the reachable-state DAG plus the process pool for portfolio "
         "helpers (default: 1, sequential)",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="reuse intermediate results (CNF blocks, commutativity "
+        "pairs, exploration subtrees) from a persistent store across "
+        "runs; verdicts are byte-identical to from-scratch runs "
+        "(default: off, or REHEARSAL_INCREMENTAL=1)",
+    )
+    parser.add_argument(
+        "--incremental-dir",
+        metavar="DIR",
+        default=None,
+        help="directory holding the incremental store (default: the "
+        "cache directory, see REHEARSAL_CACHE_DIR)",
+    )
 
 
 def _validate_solver_flags(args: argparse.Namespace) -> Optional[str]:
@@ -162,6 +182,13 @@ def _validate_solver_flags(args: argparse.Namespace) -> Optional[str]:
 
 
 def _options_from_args(args: argparse.Namespace) -> DeterminismOptions:
+    # --incremental only ever turns the store ON: without the flag the
+    # dataclass default applies, which honors REHEARSAL_INCREMENTAL=1.
+    extra = {}
+    if args.incremental:
+        extra["incremental"] = True
+    if args.incremental_dir is not None:
+        extra["incremental_dir"] = args.incremental_dir
     return DeterminismOptions(
         use_pruning=not args.no_pruning,
         use_commutativity=not args.no_commutativity,
@@ -171,6 +198,7 @@ def _options_from_args(args: argparse.Namespace) -> DeterminismOptions:
         solver=args.solver,
         portfolio=args.portfolio,
         solver_workers=args.solver_workers,
+        **extra,
     )
 
 
@@ -425,6 +453,103 @@ def run_cache_clear(argv) -> int:
     return 0
 
 
+# -- rehearsal cache ----------------------------------------------------------
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal cache",
+        description=(
+            "Inspect and manage the on-disk caches: the verdict cache "
+            "(one JSON entry per verified manifest) and the "
+            "incremental store (CNF blocks, commutativity pairs, "
+            "exploration subtrees reused across runs).  Both live in "
+            "the cache directory (REHEARSAL_CACHE_DIR, else "
+            "$XDG_CACHE_HOME/rehearsal)."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REHEARSAL_CACHE_DIR, else "
+        "$XDG_CACHE_HOME/rehearsal)",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser(
+        "stats", help="entry counts and on-disk bytes for both caches"
+    )
+    sub.add_parser(
+        "clear", help="delete every verdict entry and incremental row"
+    )
+    gc = sub.add_parser(
+        "gc",
+        help="evict oldest entries until both caches fit the budget",
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="per-cache size budget in bytes; oldest entries go first",
+    )
+    return parser
+
+
+def run_cache(argv) -> int:
+    from repro.service import VerdictCache
+    from repro.service.incremental import IncrementalStore, default_store_path
+
+    args = build_cache_parser().parse_args(argv)
+    cache = VerdictCache(args.cache_dir)
+    store = IncrementalStore(default_store_path(args.cache_dir))
+
+    if args.action == "stats":
+        vstats = cache.stats()
+        istats = store.stats()
+        print(f"cache directory: {vstats['directory']}")
+        print(
+            f"verdict cache: {vstats['entries']} entrie(s), "
+            f"{vstats['bytes']} bytes"
+        )
+        if store.disabled:
+            print("incremental store: unavailable")
+        else:
+            print(
+                f"incremental store: {istats.get('entries', 0)} row(s), "
+                f"{istats.get('bytes', 0)} bytes on disk"
+            )
+            for section, counts in sorted(
+                istats.get("sections", {}).items()
+            ):
+                print(
+                    f"  {section}: {counts['entries']} row(s), "
+                    f"{counts['bytes']} bytes"
+                )
+        return 0
+
+    if args.action == "clear":
+        removed = cache.clear()
+        rows = store.clear()
+        print(
+            f"removed {removed} cached verdict(s) and {rows} "
+            f"incremental row(s) from {cache.directory}"
+        )
+        return 0
+
+    if args.action == "gc":
+        if args.max_bytes < 0:
+            print("error: --max-bytes must be >= 0", file=sys.stderr)
+            return 2
+        removed = cache.gc(args.max_bytes)
+        rows = store.gc(args.max_bytes)
+        print(
+            f"evicted {removed} cached verdict(s) and {rows} "
+            f"incremental row(s) to fit {args.max_bytes} bytes"
+        )
+        return 0
+
+    return 2  # unreachable: argparse requires an action
+
+
 # -- rehearsal solve ----------------------------------------------------------
 
 
@@ -643,6 +768,14 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "(default: 1)",
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="verify every generated case with the persistent "
+        "incremental store enabled, keeping the differential oracle "
+        "honest against the cross-run reuse path (default: off, or "
+        "REHEARSAL_INCREMENTAL=1)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-case progress lines",
@@ -747,8 +880,12 @@ def run_fuzz(argv) -> int:
         shrink=args.shrink,
         generator_config=config,
         options=(
-            DeterminismOptions(portfolio=args.portfolio)
-            if args.portfolio > 1
+            DeterminismOptions(
+                portfolio=args.portfolio,
+                incremental=args.incremental
+                or DeterminismOptions().incremental,
+            )
+            if args.portfolio > 1 or args.incremental
             else None
         ),
         progress=progress,
@@ -1338,6 +1475,8 @@ def main(argv=None) -> int:
         return run_verify_batch(argv[1:])
     if argv and argv[0] == "cache-clear":
         return run_cache_clear(argv[1:])
+    if argv and argv[0] == "cache":
+        return run_cache(argv[1:])
     if argv and argv[0] == "solve":
         return run_solve(argv[1:])
     if argv and argv[0] == "fuzz":

@@ -212,11 +212,27 @@ class Rehearsal:
             report.determinism = det
             report.deterministic = det.deterministic
             if det.deterministic:
-                idem = check_idempotence(
-                    graph,
-                    programs,
-                    well_formed_initial=self.options.well_formed_initial,
-                )
+                if self.options.incremental:
+                    # Lazy import: service.incremental is only needed
+                    # on the opt-in incremental path, and importing it
+                    # eagerly would wire the analysis layer to the
+                    # service layer for every caller.
+                    from repro.service.incremental import (
+                        check_idempotence_incremental,
+                    )
+
+                    idem = check_idempotence_incremental(
+                        graph,
+                        programs,
+                        options=self.options,
+                        stats=det.stats,
+                    )
+                else:
+                    idem = check_idempotence(
+                        graph,
+                        programs,
+                        well_formed_initial=self.options.well_formed_initial,
+                    )
                 report.idempotence = idem
                 report.idempotent = idem.idempotent
         except ReproError as exc:

@@ -31,7 +31,17 @@ _ENTRY_SUFFIX = ".json"
 
 
 def default_cache_dir() -> Path:
-    """``$XDG_CACHE_HOME/rehearsal`` (or ``~/.cache/rehearsal``)."""
+    """``$REHEARSAL_CACHE_DIR``, else ``$XDG_CACHE_HOME/rehearsal``
+    (or ``~/.cache/rehearsal``).
+
+    The dedicated override points directly at the cache directory (no
+    ``rehearsal`` suffix appended), so CI jobs and the fuzz workflow
+    can isolate cache state without mutating ``XDG_CACHE_HOME`` for
+    every other tool in the process.
+    """
+    override = os.environ.get("REHEARSAL_CACHE_DIR")
+    if override:
+        return Path(override)
     base = os.environ.get("XDG_CACHE_HOME")
     root = Path(base) if base else Path.home() / ".cache"
     return root / "rehearsal"
@@ -58,10 +68,16 @@ def cache_key(
     incompletely.
     """
     options = options or DeterminismOptions()
+    options_dict = dataclasses.asdict(options)
+    # The incremental store is a cache of intermediate results, not an
+    # input to the verdict: incremental and from-scratch runs promise
+    # byte-identical results, so they must share verdict-cache entries.
+    options_dict.pop("incremental", None)
+    options_dict.pop("incremental_dir", None)
     material = json.dumps(
         {
             "source": source,
-            "options": dataclasses.asdict(options),
+            "options": options_dict,
             "platform": platform,
             "node": node_name,
             "version": version,
@@ -172,6 +188,51 @@ class VerdictCache:
                 removed += 1
         for orphan in self.directory.glob("*.tmp.*"):
             self._evict(orphan)
+        return removed
+
+    def stats(self) -> dict:
+        """Entry count and on-disk footprint, for ``rehearsal cache
+        stats``.  Entries that vanish mid-scan are simply skipped."""
+        entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob(f"*{_ENTRY_SUFFIX}"):
+                try:
+                    total_bytes += entry.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total_bytes,
+        }
+
+    def gc(self, max_bytes: int) -> int:
+        """Evict oldest-first (mtime) until the cache fits in
+        ``max_bytes``; returns the number of entries removed.  Temp
+        files from interrupted writes are always swept."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for orphan in self.directory.glob("*.tmp.*"):
+            self._evict(orphan)
+        entries = []
+        total = 0
+        for entry in self.directory.glob(f"*{_ENTRY_SUFFIX}"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, entry))
+            total += st.st_size
+        entries.sort()
+        for _mtime, size, entry in entries:
+            if total <= max_bytes:
+                break
+            if self._evict(entry):
+                removed += 1
+                total -= size
         return removed
 
     def __len__(self) -> int:

@@ -22,11 +22,15 @@ from repro.core.pipeline import VerificationReport
 #: diagnostics — see :mod:`repro.analysis.lint`).  Version 4: rows
 #: grew ``solver_backend``, the backend label the verdict was computed
 #: under (``"cdcl"``, ``"portfolio:K[+cube:N]"``, ``"external:..."``
-#: — see :func:`repro.sat.backend.backend_label`).  The version
-#: participates in the verdict cache key
+#: — see :func:`repro.sat.backend.backend_label`).  Version 5: rows
+#: grew the incremental-reuse counters (``subtree_reuse_hits``,
+#: ``cnf_cache_hits``, ``commute_cache_hits`` — see
+#: :mod:`repro.service.incremental`); all three are zero on
+#: from-scratch runs, so incremental and scratch rows stay comparable
+#: field-for-field.  The version participates in the verdict cache key
 #: (:func:`repro.service.cache.cache_key`), so entries written under
 #: an older schema rotate out instead of deserializing incompletely.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: ``ManifestResult.status`` values.
 STATUS_OK = "ok"  # verified: deterministic and idempotent
@@ -70,6 +74,14 @@ class ManifestResult:
     #: lets mixed-backend result sets (and cached rows) say which solve
     #: path produced them.
     solver_backend: str = "cdcl"
+    #: Incremental-store reuse counters (schema v5): how much of this
+    #: verdict was rehydrated from the persistent store
+    #: (:mod:`repro.service.incremental`).  Like the timing fields
+    #: they describe the *run*, not the verdict — a from-scratch run
+    #: reports zeros for the byte-identical verdict.
+    subtree_reuse_hits: int = 0
+    cnf_cache_hits: int = 0
+    commute_cache_hits: int = 0
     sha256: str = ""
     cache_key: str = ""
     cached: bool = False
@@ -127,6 +139,13 @@ class ManifestResult:
             states_merged=det_stats.states_merged if det_stats else 0,
             distinct_finals=(
                 det_stats.distinct_finals if det_stats else 0
+            ),
+            subtree_reuse_hits=(
+                det_stats.subtree_reuse_hits if det_stats else 0
+            ),
+            cnf_cache_hits=det_stats.cnf_cache_hits if det_stats else 0,
+            commute_cache_hits=(
+                det_stats.commute_cache_hits if det_stats else 0
             ),
             sha256=sha256,
             cache_key=cache_key,

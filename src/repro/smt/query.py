@@ -107,6 +107,7 @@ class Query:
         preprocessing: Optional[bool] = None,
         backend: Optional[Callable[[], "Solver"]] = None,
         use_preprocessing=_UNSET,
+        subterm_cache=None,
     ):
         self.bank = bank
         self.preprocessing = _resolve_preprocessing(
@@ -114,6 +115,14 @@ class Query:
         )
         self.backend = backend
         self._assertions: list[Term] = []
+        #: Optional :class:`repro.logic.cnf.SubtermCache` — persisted
+        #: and/or encodings rehydrate across runs (the incremental
+        #: store's ``cnf`` section).  One-shot queries only; the
+        #: incremental query below never uses it.
+        self.subterm_cache = subterm_cache
+        #: Subformula encodings served from :attr:`subterm_cache` by
+        #: the last :meth:`check`.
+        self.cnf_cache_hits = 0
 
     @property
     def use_preprocessing(self) -> Optional[bool]:
@@ -129,9 +138,16 @@ class Query:
             return QueryResult(sat=True)
         if formula is self.bank.FALSE:
             return QueryResult(sat=False)
-        encoder = TseitinEncoder()
+        if self.subterm_cache is not None:
+            encoder = TseitinEncoder(
+                subterm_cache=self.subterm_cache,
+                digest_fn=self.bank.digest,
+            )
+        else:
+            encoder = TseitinEncoder()
         cnf = encoder.cnf
         root_lit = encoder.lit(formula)
+        self.cnf_cache_hits = encoder.cache_hits
         cnf.add([root_lit])
         start = time.perf_counter()
         preprocessing = self.preprocessing

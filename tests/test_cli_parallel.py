@@ -116,7 +116,7 @@ class TestEndToEnd:
         )
         assert code == 0
         report = json.loads(report_path.read_text())
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         (row,) = report["results"]
         assert row["solver_backend"] == "portfolio:2"
 

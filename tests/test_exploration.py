@@ -368,10 +368,11 @@ file { '/etc/app.conf2': content => 'b' }
 
     def test_schema_version_bumped_for_exploration_fields(self):
         # v2 added the exploration stats; v3 added the lint block;
-        # v4 added the solver_backend label.
+        # v4 added the solver_backend label; v5 added the
+        # incremental-reuse counters.
         from repro.service.schema import SCHEMA_VERSION
 
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
 
     def test_cache_key_rotates_with_schema_version(self, monkeypatch):
         import repro.service.cache as cache_mod

@@ -67,13 +67,31 @@ class TestRunSource:
         assert outcome.kinds() == ["pipeline_error"]
 
 
+@pytest.fixture
+def no_incremental_store(monkeypatch):
+    """Force the incremental store off for sabotaged-analysis runs.
+
+    The sabotage drills deliberately break the exploration so the
+    pipeline reaches wrong verdicts.  When the suite runs with
+    ``REHEARSAL_INCREMENTAL=1`` (the CI matrix cell), those wrong
+    verdicts would be recorded into the shared persistent store and
+    served back to every later test that replays the same seeded
+    catalogs — poisoning the whole session.  A cache faithfully
+    replaying corrupted analysis is working as designed; the drill,
+    not the store, must opt out.
+    """
+    monkeypatch.setenv("REHEARSAL_INCREMENTAL", "0")
+
+
 class TestSabotageDrill:
     """Acceptance criteria: ``use_memoization`` with a sabotaged
     fingerprint merges every symbolic state, so the pipeline calls
     everything deterministic; the fuzzer must catch it and shrink the
     finding to a ≤ 4-resource reproducer."""
 
-    def test_sabotaged_fingerprint_is_caught_and_shrunk(self):
+    def test_sabotaged_fingerprint_is_caught_and_shrunk(
+        self, no_incremental_store
+    ):
         with mock.patch.object(
             SymbolicState, "fingerprint", lambda self: 0
         ):
@@ -91,7 +109,7 @@ class TestSabotageDrill:
         assert healthy.agreed
         assert healthy.pipeline_deterministic is False
 
-    def test_sabotage_summary_records_findings(self):
+    def test_sabotage_summary_records_findings(self, no_incremental_store):
         with mock.patch.object(
             SymbolicState, "fingerprint", lambda self: 0
         ):
@@ -203,7 +221,7 @@ class TestFuzzCli:
         assert payload["disagreement_count"] == 0
 
     def test_disagreement_exits_one_and_writes_reproducer(
-        self, tmp_path, capsys
+        self, tmp_path, capsys, no_incremental_store
     ):
         out = tmp_path / "fuzz"
         with mock.patch.object(
@@ -233,7 +251,9 @@ class TestFuzzCli:
         )
         assert code == 3
 
-    def test_reproduction_hint_echoes_nondefault_knobs(self, capsys):
+    def test_reproduction_hint_echoes_nondefault_knobs(
+        self, capsys, no_incremental_store
+    ):
         with mock.patch.object(
             SymbolicState, "fingerprint", lambda self: 0
         ):

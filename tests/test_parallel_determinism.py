@@ -127,7 +127,18 @@ class TestCubePoolPath:
 
 
 #: Row fields that legitimately differ run-to-run or backend-to-backend.
-VOLATILE_ROW_FIELDS = ("seconds", "solver_seconds", "cache_key", "solver_backend")
+#: The incremental-reuse counters are run-circumstance fields (schema
+#: v5): the sequential side may hit the persistent store while the
+#: portfolio side, which disables it, cannot.
+VOLATILE_ROW_FIELDS = (
+    "seconds",
+    "solver_seconds",
+    "cache_key",
+    "solver_backend",
+    "subtree_reuse_hits",
+    "cnf_cache_hits",
+    "commute_cache_hits",
+)
 
 
 def normalized_rows(report):
