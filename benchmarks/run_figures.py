@@ -30,6 +30,7 @@ from repro.bench.harness import (
     batch_cache_rows,
     batch_throughput_rows,
     corpus_determinism_rows,
+    daemon_latency_rows,
     fig11a_rows,
     fig11b_rows,
     fig11c_rows,
@@ -191,6 +192,16 @@ def figure_specs(timeout: float, smoke: bool):
             "docs/incremental.md)",
             ["run", "time", "verdict"],
             lambda: warm_reverify_rows(resources=50),
+        )
+    )
+    figures.append(
+        (
+            "daemon-latency",
+            "Daemon latency — warm one-edit re-verify, in-process vs. "
+            "an HTTP round trip through `rehearsal serve` (see "
+            "docs/serve.md)",
+            ["run", "time", "note"],
+            lambda: daemon_latency_rows(resources=12),
         )
     )
     return figures

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Client for the `rehearsal serve` verification daemon.
+
+Two modes:
+
+* **Self-hosted demo** (no arguments): starts a daemon on an ephemeral
+  port inside this process, walks the whole API — health check, a
+  POST /v1/verify round-trip, a verdict re-fetched by digest from the
+  tiered cache, the Prometheus metrics — and asserts the daemon's
+  verdict rows are byte-identical (after normalization) to an
+  in-process `BatchVerifier` run over the same manifests.
+
+      python examples/serve_client.py
+
+* **Live-daemon gauntlet** (`--url`): runs against an already-running
+  daemon.  With `--corpus` it POSTs every §6 corpus manifest and
+  checks the rows against either a `rehearsal verify-batch --json`
+  report (`--expect-json batch.json`, the daemon-e2e CI job's mode) or
+  a fresh in-process run.  Any mismatch exits 1 with a diff.
+
+      rehearsal serve --port 8421 &
+      rehearsal verify-batch src/repro/corpus/manifests --no-cache --json batch.json
+      python examples/serve_client.py --url http://127.0.0.1:8421 \\
+          --corpus --expect-json batch.json
+
+Rows naturally differ in run circumstances (timings, cache hits); the
+comparison strips exactly the `RUN_CIRCUMSTANCE_FIELDS` documented in
+`repro.service.schema` — everything else, verdict through race
+localization to lint diagnostics, must match byte for byte.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.service import (
+    BatchVerifier,
+    discover_manifests,
+    normalized_row,
+)
+from repro.corpus import manifest_dir
+
+
+def http_json(url: str, payload=None, timeout: float = 120.0) -> dict:
+    """One JSON-over-HTTP round trip (POST when a payload is given)."""
+    if payload is not None:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    else:
+        request = urllib.request.Request(url)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def daemon_rows(base_url: str, paths) -> list:
+    """POST every manifest and collect its verdict row."""
+    rows = []
+    for path in paths:
+        source = Path(path).read_text(encoding="utf8")
+        reply = http_json(
+            base_url + "/v1/verify",
+            {"source": source, "name": str(path)},
+        )
+        rows.append(reply["row"])
+    return rows
+
+
+def reference_rows(paths, expect_json=None) -> list:
+    """The rows the daemon must match: a committed verify-batch --json
+    report, or a fresh in-process run over the same manifests."""
+    if expect_json is not None:
+        report = json.loads(Path(expect_json).read_text(encoding="utf8"))
+        return report["results"]
+    batch = BatchVerifier(cache=None).verify_paths(paths)
+    return [r.to_dict() for r in batch.results]
+
+
+def compare_rows(daemon, reference) -> int:
+    """Print a verdict-by-verdict comparison; return mismatch count."""
+    mismatches = 0
+    for got, want in zip(daemon, reference):
+        got_n, want_n = normalized_row(got), normalized_row(want)
+        name = want.get("name", "<?>")
+        if got_n == want_n:
+            print(f"  {name}: {got['status']} (rows identical)")
+        else:
+            mismatches += 1
+            diff = {
+                key
+                for key in set(got_n) | set(want_n)
+                if got_n.get(key) != want_n.get(key)
+            }
+            print(f"  {name}: MISMATCH in {sorted(diff)}")
+            for key in sorted(diff):
+                print(f"    daemon: {key}={got_n.get(key)!r}")
+                print(f"    batch:  {key}={want_n.get(key)!r}")
+    if len(daemon) != len(reference):
+        mismatches += 1
+        print(
+            f"  row count differs: daemon {len(daemon)}, "
+            f"reference {len(reference)}"
+        )
+    return mismatches
+
+
+def run_against(base_url: str, corpus: bool, expect_json) -> int:
+    health = http_json(base_url + "/healthz")
+    print(
+        f"daemon at {base_url}: {health['status']}, "
+        f"version {health['version']}, uptime {health['uptime_seconds']}s"
+    )
+
+    paths = discover_manifests(str(manifest_dir()))
+    if not corpus:
+        paths = paths[:4]  # the demo keeps the self-hosted run short
+    print(f"verifying {len(paths)} corpus manifest(s) through the daemon")
+    rows = daemon_rows(base_url, paths)
+
+    # Re-fetch one verdict by digest: the tiered-cache read path.
+    digest = rows[0]["cache_key"]
+    if digest:
+        fetched = http_json(f"{base_url}/v1/verdicts/{digest}")
+        assert normalized_row(fetched["row"]) == normalized_row(rows[0])
+        print(f"verdict re-fetched by digest {digest[:12]}… from the cache")
+
+    print("comparing against verify-batch rows:")
+    mismatches = compare_rows(rows, reference_rows(paths, expect_json))
+    if mismatches:
+        print(f"{mismatches} row(s) differ", file=sys.stderr)
+        return 1
+
+    metrics = urllib.request.urlopen(
+        base_url + "/metrics", timeout=30
+    ).read().decode("utf8")
+    for line in metrics.splitlines():
+        if line.startswith("rehearsal_daemon_cache_lookups_total{"):
+            print(f"metrics: {line}")
+    print("all rows byte-identical after normalization.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running daemon (default: self-host one)",
+    )
+    parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="verify all 19 corpus manifests (default with --url "
+        "left unset: a 4-manifest demo subset)",
+    )
+    parser.add_argument(
+        "--expect-json",
+        metavar="PATH",
+        default=None,
+        help="compare against this 'rehearsal verify-batch --json' "
+        "report instead of a fresh in-process run",
+    )
+    args = parser.parse_args()
+
+    if args.url is not None:
+        return run_against(args.url.rstrip("/"), args.corpus, args.expect_json)
+
+    # Self-hosted mode: daemon on an ephemeral port, scratch cache.
+    from repro.service.daemon import DaemonConfig, daemon_in_thread
+
+    with tempfile.TemporaryDirectory(prefix="rehearsal-serve-") as cache_dir:
+        config = DaemonConfig(port=0, cache_dir=cache_dir)
+        with daemon_in_thread(config) as daemon:
+            return run_against(
+                daemon.base_url, args.corpus, args.expect_json
+            )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ _LAZY_EXPORTS = {
     "AnalysisBudgetExceeded": "repro.errors",
     "BatchReport": "repro.service",
     "BatchVerifier": "repro.service",
+    "DaemonConfig": "repro.service.daemon",
     "DependencyCycleError": "repro.errors",
     "DeterminismOptions": "repro.analysis.determinism",
     "DeterminismResult": "repro.analysis.determinism",
@@ -60,10 +61,12 @@ _LAZY_EXPORTS = {
     "PuppetEvalError": "repro.errors",
     "PuppetSyntaxError": "repro.errors",
     "Rehearsal": "repro.core.pipeline",
+    "RehearsalDaemon": "repro.service.daemon",
     "ReproError": "repro.errors",
     "ResourceModelError": "repro.errors",
     "SolverBackend": "repro.sat.backend",
     "SolverConfig": "repro.sat.backend",
+    "TieredVerdictCache": "repro.service.tiered",
     "VerdictCache": "repro.service",
     "VerificationReport": "repro.core.pipeline",
     "parse_backend_spec": "repro.sat.backend",

@@ -613,11 +613,19 @@ def check_determinism(
     graph: "nx.DiGraph",
     programs: Dict[NodeId, fx.Expr],
     options: Optional[DeterminismOptions] = None,
+    incremental_store=None,
 ) -> DeterminismResult:
     """Decide determinism of a resource graph (Theorem 1).
 
     ``graph`` edges point prerequisite → dependent; ``programs`` maps
     node ids to compiled FS programs.
+
+    ``incremental_store`` — an already-open
+    :class:`repro.service.incremental.IncrementalStore` handle to
+    reuse on the incremental path, instead of resolving one per call:
+    the pipeline opens a single handle per verify, and the daemon
+    keeps one open for the life of the process so the store's SQLite
+    page cache stays hot across requests.
     """
     options = options or DeterminismOptions()
     stats = DeterminismStats(resources_total=graph.number_of_nodes())
@@ -709,7 +717,13 @@ def check_determinism(
             from repro.service.incremental import DetIncremental
 
             inc = DetIncremental.create(
-                graph, programs, work_graph, work_programs, domains, options
+                graph,
+                programs,
+                work_graph,
+                work_programs,
+                domains,
+                options,
+                store=incremental_store,
             )
         except Exception:
             inc = None  # unusable storage degrades to a cold run

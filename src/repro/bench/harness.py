@@ -510,6 +510,83 @@ def warm_reverify_rows(
     return rows
 
 
+def daemon_latency_rows(
+    resources: int = 12, samples: int = 5
+) -> List[Tuple[str, float, str]]:
+    """(run, wall seconds, note) for the daemon-latency figure: the
+    warm one-resource re-verify of :func:`warm_reverify_rows`, measured
+    in-process and then as a full HTTP round trip through ``rehearsal
+    serve``.  Both paths share one hot incremental store (the daemon
+    pins its handle open for the process lifetime), so the delta is
+    pure service overhead — HTTP parse, executor hop, JSON encode.
+    Best-of-``samples`` on each side; each sample edits the catalog
+    differently so every verify re-solves exactly one resource."""
+    import json as json_mod
+    import tempfile
+    import urllib.request
+
+    from repro.service.daemon import DaemonConfig, daemon_in_thread
+    from repro.service.incremental import reset_store_registry
+
+    base = edit_latency_catalog(resources)
+
+    def variant(tag: str) -> str:
+        # content for resource 0 is unique to that block, so this
+        # rewrites exactly one resource per sample.
+        return base.replace("setting0 = 0", f"setting0 = {tag}")
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="rehearsal-bench-") as directory:
+        options = DeterminismOptions(
+            incremental=True, incremental_dir=directory
+        )
+        try:
+            # Fill the store once; both measured paths then re-verify
+            # one-resource edits against it.
+            Rehearsal(options=options).verify(base, name="daemon-latency-warm")
+
+            local_best = float("inf")
+            for k in range(samples):
+                tool = Rehearsal(options=options)
+                source = variant(f"local{k}")
+                start = time.perf_counter()
+                tool.verify(source, name="daemon-latency-local")
+                local_best = min(local_best, time.perf_counter() - start)
+            rows.append(("in-process", local_best, "warm one-edit re-verify"))
+
+            config = DaemonConfig(
+                port=0, workers=1, use_cache=False, options=options
+            )
+            with daemon_in_thread(config) as daemon:
+                daemon_best = float("inf")
+                for k in range(samples):
+                    payload = json_mod.dumps(
+                        {
+                            "source": variant(f"daemon{k}"),
+                            "name": "daemon-latency-daemon",
+                        }
+                    ).encode("utf8")
+                    request = urllib.request.Request(
+                        daemon.base_url + "/v1/verify",
+                        data=payload,
+                        headers={"Content-Type": "application/json"},
+                        method="POST",
+                    )
+                    start = time.perf_counter()
+                    with urllib.request.urlopen(request, timeout=120) as rsp:
+                        json_mod.load(rsp)
+                    daemon_best = min(
+                        daemon_best, time.perf_counter() - start
+                    )
+            ratio = daemon_best / local_best if local_best > 0 else 0.0
+            rows.append(
+                ("daemon", daemon_best, f"{ratio:.2f}x in-process")
+            )
+        finally:
+            reset_store_registry()
+    return rows
+
+
 # -- §6 verdict table -----------------------------------------------------------
 
 

@@ -10,6 +10,13 @@ Two commands behind one ``rehearsal`` entry point (see setup.py
 * ``rehearsal verify-batch <dir-or-manifests...> [flags]`` — the batch
   service: fan a fleet of manifests out to worker processes behind the
   content-addressed verdict cache (:mod:`repro.service`).
+* ``rehearsal serve [--port N --workers N --watch DIR --quota RPS]``
+  — the long-running verification daemon (:mod:`repro.service.daemon`,
+  docs/serve.md): an asyncio HTTP service fronting the batch verifier
+  with a tiered verdict cache, a filesystem watcher streaming
+  re-verification rows over long-poll ``/v1/events``, per-client
+  token-bucket quotas, and ``/healthz`` + Prometheus ``/metrics``.
+  Exit 0 on clean (SIGTERM/SIGINT) shutdown, 2 on bad invocation.
 * ``rehearsal cache stats|clear|gc [--cache-dir DIR]`` — inspect and
   manage both on-disk caches: the verdict cache and the incremental
   store (:mod:`repro.service.incremental`); ``gc --max-bytes N``
@@ -429,6 +436,158 @@ def run_verify_batch(argv) -> int:
     if args.strict and report.failed_count:
         return 1
     return 0
+
+
+# -- rehearsal serve ----------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rehearsal serve",
+        description=(
+            "Run the resident verification daemon: an asyncio HTTP "
+            "service fronting the batch verifier behind a tiered "
+            "(in-memory LRU over on-disk) verdict cache, with an "
+            "optional filesystem watcher that re-verifies changed "
+            "manifests and streams rows over long-poll /v1/events.  "
+            "See docs/serve.md for the endpoint contract."
+        ),
+        epilog=(
+            "Exit codes: 0 — clean shutdown on SIGTERM/SIGINT; "
+            "2 — bad invocation or the service cannot start."
+        ),
+    )
+    _add_analysis_flags(parser)
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1; 0.0.0.0 in Docker)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="TCP port (default: 8421; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="verification worker threads; extra requests queue "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--watch",
+        metavar="DIR",
+        default=None,
+        help="re-verify any *.pp under DIR when it changes (stat-poll "
+        "watcher; rows stream over /v1/events)",
+    )
+    parser.add_argument(
+        "--quota",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-client token-bucket quota on /v1/* in requests per "
+        "second; exhausted clients get 429 + Retry-After "
+        "(default: no quota)",
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="token-bucket capacity (default: ceil of --quota)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="verdict cache directory (default: $XDG_CACHE_HOME/rehearsal)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="verify every request from scratch; disables /v1/verdicts",
+    )
+    parser.add_argument(
+        "--lru-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-process LRU tier size in verdicts (default: 1024)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="watcher stat-poll cadence in seconds (default: 0.5)",
+    )
+    parser.add_argument(
+        "--debounce",
+        type=float,
+        default=0.25,
+        help="quiet period before a changed manifest re-verifies, "
+        "coalescing rapid successive writes (default: 0.25)",
+    )
+    return parser
+
+
+def run_serve(argv) -> int:
+    from repro.service.daemon import DaemonConfig, run_daemon
+
+    args = build_serve_parser().parse_args(argv)
+    problem = _validate_solver_flags(args)
+    if problem is None and args.workers < 1:
+        problem = "--workers must be >= 1"
+    if problem is None and args.port < 0:
+        problem = "--port must be >= 0"
+    if problem is None and args.quota is not None and args.quota <= 0:
+        problem = "--quota must be positive"
+    if problem is None and (
+        args.quota_burst is not None and args.quota_burst < 1
+    ):
+        problem = "--quota-burst must be >= 1"
+    if problem is None and args.quota_burst is not None and args.quota is None:
+        problem = "--quota-burst needs --quota"
+    if problem is None and (
+        args.lru_capacity is not None and args.lru_capacity < 1
+    ):
+        problem = "--lru-capacity must be >= 1"
+    if problem is None and args.poll_interval <= 0:
+        problem = "--poll-interval must be positive"
+    if problem is None and args.debounce < 0:
+        problem = "--debounce must be >= 0"
+    if problem is None and args.watch is not None:
+        if not OsPath(args.watch).is_dir():
+            problem = f"--watch: no such directory: {args.watch}"
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+
+    from repro.service.tiered import DEFAULT_CAPACITY
+
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        watch=args.watch,
+        quota=args.quota,
+        quota_burst=args.quota_burst,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        lru_capacity=(
+            args.lru_capacity
+            if args.lru_capacity is not None
+            else DEFAULT_CAPACITY
+        ),
+        options=_options_from_args(args),
+        platform=args.platform,
+        node_name=args.node,
+        synthesize_packages=not args.strict_packages,
+        poll_interval=args.poll_interval,
+        debounce=args.debounce,
+    )
+    return run_daemon(config)
 
 
 # -- rehearsal cache-clear ----------------------------------------------------
@@ -1473,6 +1632,8 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "verify-batch":
         return run_verify_batch(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     if argv and argv[0] == "cache-clear":
         return run_cache_clear(argv[1:])
     if argv and argv[0] == "cache":

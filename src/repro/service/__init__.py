@@ -7,6 +7,11 @@ behind a content-addressed verdict cache.
   corrupted-entry recovery.
 * :class:`ManifestResult`, :class:`BatchReport` — the machine-readable
   run-report schema (``rehearsal verify-batch --json``).
+* :class:`TieredVerdictCache` — in-process LRU over the on-disk
+  verdict store (the daemon's hot tier).
+* :mod:`repro.service.daemon` — the resident HTTP service behind
+  ``rehearsal serve`` (imported lazily: it pulls in asyncio and is
+  only needed by the daemon entry points).
 """
 
 from repro.service.cache import (
@@ -15,6 +20,7 @@ from repro.service.cache import (
     default_cache_dir,
     source_digest,
 )
+from repro.service.tiered import TieredVerdictCache
 from repro.service.orchestrator import (
     BatchVerifier,
     discover_manifests,
@@ -25,6 +31,8 @@ from repro.service.schema import (
     CacheStats,
     ManifestResult,
     batch_table_rows,
+    normalized_row,
+    normalized_rows,
 )
 
 __all__ = [
@@ -32,11 +40,14 @@ __all__ = [
     "BatchVerifier",
     "CacheStats",
     "ManifestResult",
+    "TieredVerdictCache",
     "VerdictCache",
     "batch_table_rows",
     "cache_key",
     "default_cache_dir",
     "discover_manifests",
+    "normalized_row",
+    "normalized_rows",
     "source_digest",
     "verify_batch",
 ]

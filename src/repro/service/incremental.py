@@ -542,6 +542,7 @@ def check_idempotence_incremental(
     programs: Dict[NodeId, fx.Expr],
     options,
     stats=None,
+    store: Optional[IncrementalStore] = None,
 ) -> IdempotenceResult:
     """Idempotence with cross-run reuse; byte-identical verdicts.
 
@@ -568,7 +569,8 @@ def check_idempotence_incremental(
     """
     start = time.perf_counter()
     wf = bool(options.well_formed_initial)
-    store = open_store(getattr(options, "incremental_dir", None))
+    if store is None or store.disabled:
+        store = open_store(getattr(options, "incremental_dir", None))
     order: List[NodeId] = list(nx.topological_sort(graph))
     if store is None:
         return check_idempotence(graph, programs, well_formed_initial=wf)
@@ -739,8 +741,13 @@ class DetIncremental:
         work_programs,
         domains,
         options,
+        store: Optional[IncrementalStore] = None,
     ) -> Optional["DetIncremental"]:
-        store = open_store(getattr(options, "incremental_dir", None))
+        """``store`` — an already-open handle to reuse (the pipeline
+        resolves one per verify, the daemon one per process); without
+        it the process-wide registry is consulted per call."""
+        if store is None or store.disabled:
+            store = open_store(getattr(options, "incremental_dir", None))
         if store is None:
             return None
         return cls(

@@ -260,6 +260,47 @@ class BatchReport:
         )
 
 
+#: Row fields that describe the *run*, not the verdict: wall-clock
+#: timings, cache/dedup provenance, and the incremental-reuse
+#: counters.  Two runs of the same manifest under the same options
+#: agree on everything else byte for byte — the contract
+#: ``examples/serve_client.py`` and the daemon-e2e CI job assert
+#: between ``rehearsal serve`` and ``rehearsal verify-batch``.
+RUN_CIRCUMSTANCE_FIELDS = (
+    "seconds",
+    "solver_seconds",
+    "cached",
+    "deduplicated",
+    "subtree_reuse_hits",
+    "cnf_cache_hits",
+    "commute_cache_hits",
+)
+
+
+def normalized_row(row: dict) -> dict:
+    """A deep copy of a :class:`ManifestResult` dict with every
+    run-circumstance field removed, so rows from different runs (or
+    different front ends: batch CLI vs daemon) compare byte-identical
+    exactly when the verdicts agree."""
+    import copy
+
+    out = copy.deepcopy(row)
+    for field_name in RUN_CIRCUMSTANCE_FIELDS:
+        out.pop(field_name, None)
+    lint = out.get("lint")
+    if isinstance(lint, dict):
+        lint.get("stats", {}).pop("seconds", None)
+    return out
+
+
+def normalized_rows(rows) -> List[dict]:
+    """:func:`normalized_row` over a row list (dicts or results)."""
+    return [
+        normalized_row(r.to_dict() if hasattr(r, "to_dict") else r)
+        for r in rows
+    ]
+
+
 _STATUS_WORD: Dict[str, str] = {
     STATUS_OK: "ok",
     STATUS_FAILED: "FAILED",

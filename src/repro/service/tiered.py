@@ -1,0 +1,112 @@
+"""Tiered verdict cache: an in-process LRU over the on-disk store.
+
+A resident daemon answers the same digests over and over; paying a
+file open + JSON parse per hit is pointless once the process owns the
+working set.  :class:`TieredVerdictCache` keeps the hottest
+``capacity`` verdicts in memory (an ``OrderedDict`` in LRU order) in
+front of the on-disk :class:`~repro.service.cache.VerdictCache`:
+
+* **memory tier** — hit without touching the filesystem;
+* **disk tier** — a miss in memory falls through to the on-disk
+  store and, on a hit, promotes the entry into memory;
+* **miss** — both tiers cold; the caller verifies and ``put`` fills
+  both tiers.
+
+The class *is a* :class:`VerdictCache`, so
+:class:`~repro.service.orchestrator.BatchVerifier` uses it unchanged,
+and the base hit/miss counters keep their meaning (a memory hit is
+still a cache hit).  The per-tier split lands in
+:attr:`memory_hits` / :attr:`disk_hits`, surfaced by the daemon's
+``/metrics`` endpoint.
+
+Thread safety: the daemon verifies on a worker-thread pool, so every
+LRU mutation holds a lock.  Stored results are defensively copied on
+the way in and out — callers mutate rows (``dataclasses.replace`` is
+the idiom, but nothing enforces it) and a shared object would let one
+request's relabeling leak into another's.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional, Union
+
+from repro.service.cache import VerdictCache
+from repro.service.schema import ManifestResult
+
+DEFAULT_CAPACITY = 1024
+
+
+class TieredVerdictCache(VerdictCache):
+    """In-process LRU in front of the on-disk verdict store."""
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike, None] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(directory)
+        self.capacity = capacity
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self._lru: "OrderedDict[str, ManifestResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _copy(result: ManifestResult) -> ManifestResult:
+        # Round-trip through the dict form: cheap, and guarantees the
+        # cached object shares no mutable state (the lint block is a
+        # nested dict) with what callers hold.
+        return ManifestResult.from_dict(result.to_dict())
+
+    def get(self, key: str) -> Optional[ManifestResult]:
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._lru.move_to_end(key)
+                self.memory_hits += 1
+                self.hits += 1
+                return self._copy(cached)
+        result = super().get(key)
+        if result is not None:
+            self.disk_hits += 1
+            self._remember(key, result)
+        return result
+
+    def put(self, key: str, result: ManifestResult) -> None:
+        self._remember(key, result)
+        super().put(key, result)
+
+    def _remember(self, key: str, result: ManifestResult) -> None:
+        with self._lock:
+            self._lru[key] = self._copy(result)
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+
+    def clear(self) -> int:
+        with self._lock:
+            self._lru.clear()
+        return super().clear()
+
+    @property
+    def memory_entries(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def tier_stats(self) -> dict:
+        """Per-tier traffic, for ``/metrics``: memory and disk hits
+        split out of the base class's aggregate ``hits``."""
+        with self._lock:
+            memory_entries = len(self._lru)
+        return {
+            "capacity": self.capacity,
+            "memory_entries": memory_entries,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }

@@ -20,7 +20,11 @@ suite** whenever precision cannot be guaranteed:
   edits do not invalidate the map);
 * a ``conftest.py`` changed (fixtures feed every test), or a changed
   module is one a conftest transitively imports;
-* a changed file is unmapped (test-support data, tools, CI config).
+* a changed file is CI/deployment configuration (``.github/``,
+  ``Dockerfile``) — the scanner cannot model how the suite is
+  *invoked*, so these run everything by policy, with a reason saying
+  exactly that rather than the unmapped-file wildcard;
+* a changed file is unmapped (test-support data, tools).
 
 Two import idioms get precise treatment:
 
@@ -72,6 +76,15 @@ MAP_TESTS = ("tests/test_orchestrate_testmap.py",)
 
 #: Changed paths that provably cannot affect any test.
 INERT_FILES = frozenset({".gitignore"})
+
+#: CI/deployment configuration the import scanner cannot see into:
+#: workflow YAML decides *how* the suite runs and the Dockerfile ships
+#: the daemon image the daemon-e2e job smokes.  Edits here run the
+#: full suite **by policy** with a reason that says so — they are not
+#: "unmapped files" (the wildcard fallback for paths the scanner
+#: should have known about).
+CI_CONFIG_PREFIXES = (".github/",)
+CI_CONFIG_FILES = frozenset({"Dockerfile", ".dockerignore"})
 
 
 # -- per-file scanning --------------------------------------------------------
@@ -619,6 +632,15 @@ def select(
             continue
         if Path(path).name == "conftest.py":
             return _full(selection, f"{path}: conftest/fixture edit")
+        if (
+            path in CI_CONFIG_FILES
+            or path.startswith(CI_CONFIG_PREFIXES)
+        ):
+            return _full(
+                selection,
+                f"{path}: CI/deployment config — selection cannot "
+                "model how the suite is invoked, full run by policy",
+            )
         if path in test_map.tests:
             selected.add(path)
             continue

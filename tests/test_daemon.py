@@ -1,0 +1,412 @@
+"""The ``rehearsal serve`` daemon: endpoints, tiered cache, quotas,
+watcher debounce, graceful shutdown (docs/serve.md)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.cli import main as cli_main
+from repro.service import BatchVerifier, cache_key, normalized_row
+from repro.service.daemon import (
+    DaemonConfig,
+    RehearsalDaemon,
+    TokenBucket,
+    _Histogram,
+    daemon_in_thread,
+)
+from repro.service.tiered import TieredVerdictCache
+
+GOOD = """
+file {"/etc/app.conf": content => "x" }
+"""
+
+NONDET = """
+file {"/etc/apache2/sites-available/default.conf": content => "z" }
+package {"apache2": ensure => present }
+"""
+
+
+def http(url, payload=None, method=None, timeout=120.0):
+    """(status, parsed-JSON-or-text) without raising on 4xx/5xx."""
+    if payload is not None:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf8"),
+            headers={"Content-Type": "application/json"},
+            method=method or "POST",
+        )
+    else:
+        request = urllib.request.Request(url, method=method or "GET")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+            status, headers = response.status, dict(response.headers)
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status, headers = error.code, dict(error.headers)
+    try:
+        body = json.loads(raw)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        body = raw.decode("utf8", "replace")
+    return status, body, headers
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """One shared daemon (private cache dir) for the endpoint tests."""
+    cache_dir = tmp_path_factory.mktemp("daemon-cache")
+    with daemon_in_thread(
+        DaemonConfig(port=0, cache_dir=str(cache_dir))
+    ) as running:
+        yield running
+
+
+class TestEndpoints:
+    def test_healthz(self, daemon):
+        status, body, _ = http(daemon.base_url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers"] == 1
+        assert body["watch"] is None
+
+    def test_verify_row_matches_in_process_batch(self, daemon):
+        status, body, _ = http(
+            daemon.base_url + "/v1/verify",
+            {"source": NONDET, "name": "nondet.pp"},
+        )
+        assert status == 200
+        report = BatchVerifier(cache=None).verify_sources(
+            [("nondet.pp", NONDET)]
+        )
+        expected = report.results[0].to_dict()
+        assert normalized_row(body["row"]) == normalized_row(expected)
+        assert body["row"]["status"] == "failed"
+
+    def test_verify_by_path(self, daemon, tmp_path):
+        manifest = tmp_path / "good.pp"
+        manifest.write_text(GOOD)
+        status, body, _ = http(
+            daemon.base_url + "/v1/verify", {"path": str(manifest)}
+        )
+        assert status == 200
+        assert body["row"]["status"] == "ok"
+        assert body["row"]["name"] == str(manifest)
+
+    def test_verdict_refetch_by_digest(self, daemon):
+        # A source unique to this test, so the stored row's name is
+        # the one this request supplies (re-verifying a digest another
+        # test stored would keep that test's label on disk).
+        source = GOOD + '\nfile {"/etc/refetch.conf": content => "r" }\n'
+        status, body, _ = http(
+            daemon.base_url + "/v1/verify",
+            {"source": source, "name": "refetch.pp"},
+        )
+        assert status == 200
+        digest = body["row"]["cache_key"]
+        status, fetched, _ = http(
+            f"{daemon.base_url}/v1/verdicts/{digest}"
+        )
+        assert status == 200
+        assert normalized_row(fetched["row"]) == normalized_row(body["row"])
+
+    def test_unknown_digest_is_404(self, daemon):
+        status, body, _ = http(daemon.base_url + "/v1/verdicts/deadbeef")
+        assert status == 404
+        assert "deadbeef" in body["error"]
+
+    def test_unknown_path_is_404(self, daemon):
+        status, body, _ = http(daemon.base_url + "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405_with_allow(self, daemon):
+        status, body, headers = http(
+            daemon.base_url + "/v1/verify", method="GET"
+        )
+        assert status == 405
+        assert headers["Allow"] == "POST"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # neither source nor path
+            {"source": GOOD, "path": "/tmp/x.pp"},  # both
+            {"source": 7},
+            {"path": "/no/such/manifest.pp"},
+        ],
+    )
+    def test_bad_verify_bodies_are_400(self, daemon, payload):
+        status, body, _ = http(daemon.base_url + "/v1/verify", payload)
+        assert status == 400
+        assert "error" in body
+
+    def test_events_empty_stream_returns_cursor(self, daemon):
+        status, body, _ = http(
+            daemon.base_url + "/v1/events?since=0&timeout=0"
+        )
+        assert status == 200
+        assert body["events"] == []
+        assert body["dropped"] == 0
+        assert body["stopping"] is False
+
+    def test_metrics_exposition(self, daemon):
+        status, text, _ = http(daemon.base_url + "/metrics")
+        assert status == 200
+        assert isinstance(text, str)
+        assert "# TYPE rehearsal_daemon_requests_total counter" in text
+        assert 'rehearsal_daemon_cache_lookups_total{tier="memory"}' in text
+        assert 'rehearsal_daemon_cache_lookups_total{tier="disk"}' in text
+        assert 'rehearsal_daemon_cache_lookups_total{tier="miss"}' in text
+        assert "rehearsal_daemon_queue_depth 0" in text
+        assert 'rehearsal_daemon_verify_seconds_bucket{le="+Inf"}' in text
+        assert "rehearsal_daemon_verify_seconds_count" in text
+
+
+class TestTieredCacheThroughDaemon:
+    def test_second_verify_hits_the_memory_tier(self, tmp_path):
+        config = DaemonConfig(port=0, cache_dir=str(tmp_path))
+        with daemon_in_thread(config) as daemon:
+            first = http(
+                daemon.base_url + "/v1/verify",
+                {"source": GOOD, "name": "good.pp"},
+            )[1]
+            second = http(
+                daemon.base_url + "/v1/verify",
+                {"source": GOOD, "name": "good.pp"},
+            )[1]
+            assert first["row"]["cached"] is False
+            assert second["row"]["cached"] is True
+            stats = daemon.cache.tier_stats()
+        assert stats["memory_hits"] == 1
+        assert stats["disk_hits"] == 0
+
+    def test_fresh_daemon_on_same_dir_hits_the_disk_tier(self, tmp_path):
+        config = DaemonConfig(port=0, cache_dir=str(tmp_path))
+        with daemon_in_thread(config) as daemon:
+            http(
+                daemon.base_url + "/v1/verify",
+                {"source": GOOD, "name": "good.pp"},
+            )
+        with daemon_in_thread(config) as daemon:
+            body = http(
+                daemon.base_url + "/v1/verify",
+                {"source": GOOD, "name": "good.pp"},
+            )[1]
+            assert body["row"]["cached"] is True
+            stats = daemon.cache.tier_stats()
+        assert stats["disk_hits"] == 1
+        assert stats["memory_hits"] == 0
+
+    def test_no_cache_daemon_404s_verdict_lookups(self):
+        with daemon_in_thread(DaemonConfig(port=0, use_cache=False)) as d:
+            assert d.cache is None
+            status, body, _ = http(d.base_url + "/v1/verdicts/abc123")
+            assert status == 404
+            assert "disabled" in body["error"]
+
+
+class TestQuota:
+    def test_exhaustion_answers_429_with_retry_after(self):
+        config = DaemonConfig(port=0, quota=0.001, quota_burst=2)
+        with daemon_in_thread(config) as daemon:
+            events = daemon.base_url + "/v1/events?timeout=0"
+            assert http(events)[0] == 200
+            assert http(events)[0] == 200
+            status, body, headers = http(events)
+            assert status == 429
+            assert "quota exhausted" in body["error"]
+            assert int(headers["Retry-After"]) >= 1
+            # /healthz and /metrics stay reachable under exhaustion.
+            assert http(daemon.base_url + "/healthz")[0] == 200
+            text = http(daemon.base_url + "/metrics")[1]
+            assert "rehearsal_daemon_quota_rejections_total 1" in text
+
+    def test_bucket_refills_continuously(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        admitted, _ = bucket.admit()
+        assert admitted
+        denied, wait = bucket.admit()
+        if not denied:
+            assert 0 < wait <= 0.001
+            time.sleep(0.01)
+            assert bucket.admit()[0]
+
+
+class TestWatcher:
+    def test_rapid_writes_debounce_to_one_reverify(self, tmp_path):
+        config = DaemonConfig(
+            port=0,
+            use_cache=False,
+            watch=str(tmp_path),
+            poll_interval=0.05,
+            debounce=0.3,
+        )
+        with daemon_in_thread(config) as daemon:
+            time.sleep(0.3)  # let the baseline snapshot land
+            manifest = tmp_path / "hot.pp"
+            for i in range(3):  # an editor's rapid successive writes
+                manifest.write_text(GOOD + f"# rev {i}\n")
+                time.sleep(0.05)
+            status, body, _ = http(
+                daemon.base_url + "/v1/events?since=0&timeout=30"
+            )
+            assert status == 200
+            events = [
+                e for e in body["events"]
+                if e["kind"] == "manifest-verified"
+            ]
+            assert len(events) == 1
+            assert events[0]["path"] == str(manifest)
+            assert events[0]["row"]["status"] == "ok"
+            # The quiet period held: no further event materializes.
+            time.sleep(3 * config.poll_interval + config.debounce)
+            body = http(
+                daemon.base_url + "/v1/events?since=0&timeout=0"
+            )[1]
+            assert len(body["events"]) == 1
+            assert daemon.watch_reverifies == 1
+
+    def test_missing_watch_dir_fails_startup(self, tmp_path):
+        config = DaemonConfig(port=0, watch=str(tmp_path / "absent"))
+        with pytest.raises(FileNotFoundError):
+            with daemon_in_thread(config):
+                pass  # pragma: no cover
+
+
+class TestGracefulShutdown:
+    def test_mid_verify_response_arrives_whole(self):
+        # Shutdown must drain the in-flight verification and write its
+        # response in one piece — a complete, parseable row, never a
+        # truncated one.
+        catalog = "\n".join(
+            f'file {{"/etc/app/f{i:02d}.cfg": content => "x{i}" }}'
+            for i in range(40)
+        )
+        with daemon_in_thread(DaemonConfig(port=0, use_cache=False)) as d:
+            outcome = {}
+
+            def post():
+                outcome["reply"] = http(
+                    d.base_url + "/v1/verify",
+                    {"source": catalog, "name": "inflight.pp"},
+                )
+
+            poster = threading.Thread(target=post)
+            poster.start()
+            time.sleep(0.05)  # request in flight (or already done: fine)
+            d.request_stop_threadsafe()
+            poster.join(timeout=60)
+        status, body, _ = outcome["reply"]
+        assert status == 200
+        row = body["row"]
+        assert row["name"] == "inflight.pp"
+        assert row["status"] == "ok"
+        assert row["cache_key"]  # the full row landed, not a prefix
+
+    def test_shutdown_wakes_long_pollers(self):
+        with daemon_in_thread(DaemonConfig(port=0)) as daemon:
+            outcome = {}
+
+            def poll():
+                outcome["reply"] = http(
+                    daemon.base_url + "/v1/events?since=0&timeout=30"
+                )
+
+            poller = threading.Thread(target=poll)
+            poller.start()
+            time.sleep(0.1)
+            start = time.monotonic()
+            daemon.request_stop_threadsafe()
+            poller.join(timeout=10)
+        assert time.monotonic() - start < 10  # not the 30s timeout
+        status, body, _ = outcome["reply"]
+        assert status == 200
+        assert body["stopping"] is True
+
+
+class TestTieredVerdictCacheUnit:
+    def _result(self, name="m.pp", source=GOOD):
+        report = BatchVerifier(cache=None).verify_sources([(name, source)])
+        return report.results[0]
+
+    def test_capacity_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            TieredVerdictCache(tmp_path, capacity=0)
+
+    def test_memory_then_disk_tier_accounting(self, tmp_path):
+        result = self._result()
+        key = cache_key(GOOD)
+        warm = TieredVerdictCache(tmp_path)
+        warm.put(key, result)
+        assert warm.get(key) is not None
+        assert warm.tier_stats()["memory_hits"] == 1
+        # A fresh process (new instance, same directory): memory cold,
+        # disk hit, then promotion makes the next hit a memory hit.
+        cold = TieredVerdictCache(tmp_path)
+        assert cold.get(key) is not None
+        assert cold.tier_stats()["disk_hits"] == 1
+        assert cold.get(key) is not None
+        assert cold.tier_stats()["memory_hits"] == 1
+
+    def test_lru_eviction_at_capacity(self, tmp_path):
+        cache = TieredVerdictCache(tmp_path, capacity=2)
+        for i in range(3):
+            cache.put(f"k{i}", self._result(name=f"m{i}.pp"))
+        assert cache.memory_entries == 2
+        # k0 was evicted from memory but survives on disk.
+        assert cache.get("k0") is not None
+        assert cache.tier_stats()["disk_hits"] == 1
+
+    def test_returned_results_are_defensive_copies(self, tmp_path):
+        cache = TieredVerdictCache(tmp_path)
+        cache.put("k", self._result())
+        first = cache.get("k")
+        first.name = "mutated"
+        assert cache.get("k").name != "mutated"
+
+    def test_clear_empties_both_tiers(self, tmp_path):
+        cache = TieredVerdictCache(tmp_path)
+        cache.put("k", self._result())
+        assert cache.clear() >= 1
+        assert cache.memory_entries == 0
+        assert cache.get("k") is None
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_inf(self):
+        histogram = _Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        lines = histogram.render("h")
+        assert 'h_bucket{le="0.1"} 1' in lines
+        assert 'h_bucket{le="1"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_count 3" in lines
+
+
+class TestServeCli:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--workers", "0"],
+            ["serve", "--port", "-1"],
+            ["serve", "--quota", "0"],
+            ["serve", "--quota-burst", "5"],  # needs --quota
+            ["serve", "--lru-capacity", "0"],
+            ["serve", "--poll-interval", "0"],
+            ["serve", "--debounce", "-1"],
+            ["serve", "--watch", "/no/such/dir"],
+        ],
+    )
+    def test_bad_invocations_exit_2(self, argv, capsys):
+        assert cli_main(argv) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_config_validation_also_guards_the_api(self):
+        with pytest.raises(ValueError):
+            RehearsalDaemon(DaemonConfig(workers=0))
+        with pytest.raises(ValueError):
+            RehearsalDaemon(DaemonConfig(quota=-1.0))

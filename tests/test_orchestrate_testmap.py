@@ -228,6 +228,26 @@ class TestSelect:
         assert selection.mode == "subset"
         assert selection.tests == []
 
+    @pytest.mark.parametrize(
+        "path",
+        [
+            ".github/workflows/ci.yml",
+            ".github/actions/setup-repro/action.yml",
+            "Dockerfile",
+            ".dockerignore",
+        ],
+    )
+    def test_ci_config_edit_runs_everything_by_policy(
+        self, project, path
+    ):
+        # Not the unmapped-file wildcard: the reason must say the
+        # fallback is deliberate policy for CI/deployment config.
+        built = self.fresh(project)
+        selection = tm.select(built, project, [path])
+        assert selection.mode == "full"
+        assert any("CI/deployment config" in r for r in selection.reasons)
+        assert not any("unmapped" in r for r in selection.reasons)
+
 
 class TestCheckDrift:
     def test_fresh_map_has_no_drift(self, project):
@@ -296,3 +316,12 @@ class TestCommittedMap:
             committed, REPO_ROOT, ["tests/conftest.py"]
         )
         assert selection.mode == "full"
+
+    def test_workflow_edit_runs_everything_with_a_policy_reason(
+        self, committed
+    ):
+        selection = tm.select(
+            committed, REPO_ROOT, [".github/workflows/ci.yml"]
+        )
+        assert selection.mode == "full"
+        assert any("CI/deployment config" in r for r in selection.reasons)

@@ -13,8 +13,9 @@ the committed test map (``rehearsal testmap select``), and prints
 Soundness contract (inherited from
 :mod:`repro.testing.orchestrate.testmap`): whenever precision cannot
 be guaranteed — the map is stale, a conftest changed, the diff
-touches an unmapped file, or git/the map are unusable at all — the
-shim prints ``tests`` (the whole suite) and explains why on stderr.
+touches CI/deployment config (``.github/``, ``Dockerfile``) or an
+unmapped file, or git/the map are unusable at all — the shim prints
+``tests`` (the whole suite) and explains why on stderr.
 The full matrix on main/nightly stays authoritative regardless; this
 only trims PR feedback time.
 
